@@ -1,0 +1,38 @@
+//! Criterion bench: the OLS refit cost as the selected sensor count Q
+//! grows — the per-design-point cost of the λ sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use voltsense::core::VoltageMapModel;
+use voltsense::linalg::Matrix;
+use voltsense::workload::GaussianRng;
+
+fn data(m: usize, k: usize, n: usize) -> (Matrix, Matrix) {
+    let mut rng = GaussianRng::seed_from_u64(11);
+    let mut x = Matrix::zeros(m, n);
+    for v in x.as_mut_slice() {
+        *v = 0.95 + 0.02 * rng.sample();
+    }
+    let mut f = Matrix::zeros(k, n);
+    for kk in 0..k {
+        let src = rng.uniform_index(m);
+        for s in 0..n {
+            f[(kk, s)] = x[(src, s)] - 0.02 + 0.001 * rng.sample();
+        }
+    }
+    (x, f)
+}
+
+fn bench_refit(c: &mut Criterion) {
+    let (x, f) = data(256, 60, 2000);
+    let mut group = c.benchmark_group("ols_refit");
+    for &q in &[2usize, 8, 32] {
+        let sensors: Vec<usize> = (0..q).map(|i| i * (x.rows() / q)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |bench, _| {
+            bench.iter(|| VoltageMapModel::fit(&x, &f, &sensors).expect("fit"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refit);
+criterion_main!(benches);

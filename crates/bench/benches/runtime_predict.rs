@@ -1,0 +1,61 @@
+//! Criterion bench: the *runtime* cost of the fitted monitor — one
+//! voltage-map prediction (and emergency decision) per sensor sample.
+//!
+//! The paper's Section 2.4 claims runtime evaluation is "computationally
+//! cheap"; this bench quantifies it: a Q-sensor → K-block affine map.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use voltsense::core::VoltageMapModel;
+use voltsense::linalg::Matrix;
+use voltsense::workload::GaussianRng;
+
+fn model(m: usize, k: usize, q: usize) -> (VoltageMapModel, Vec<f64>) {
+    let mut rng = GaussianRng::seed_from_u64(3);
+    let n = 500;
+    let mut x = Matrix::zeros(m, n);
+    for v in x.as_mut_slice() {
+        *v = 0.95 + 0.02 * rng.sample();
+    }
+    let mut f = Matrix::zeros(k, n);
+    for kk in 0..k {
+        let src = rng.uniform_index(m);
+        for s in 0..n {
+            f[(kk, s)] = x[(src, s)] - 0.02;
+        }
+    }
+    let sensors: Vec<usize> = (0..q).map(|i| i * (m / q)).collect();
+    let model = VoltageMapModel::fit(&x, &f, &sensors).expect("fit");
+    let readings: Vec<f64> = (0..q).map(|_| 0.95 + 0.02 * rng.sample()).collect();
+    (model, readings)
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_predict");
+    // Paper-scale: K = 240 blocks; Q = 16 sensors (2/core) and 56 (7/core).
+    for &q in &[16usize, 56] {
+        let (model, readings) = model(1024, 240, q);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("q{q}_k240")),
+            &(),
+            |bench, ()| {
+                bench.iter(|| model.predict_from_sensors(&readings).expect("predict"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_detect(c: &mut Criterion) {
+    let (model, readings) = model(1024, 240, 16);
+    // Full detection decision including the threshold scan.
+    let mut candidates = vec![0.95; 1024];
+    for (i, &s) in model.sensor_indices().iter().enumerate() {
+        candidates[s] = readings[i];
+    }
+    c.bench_function("runtime_detect_q16_k240", |bench| {
+        bench.iter(|| model.detect(&candidates, 0.85).expect("detect"));
+    });
+}
+
+criterion_group!(benches, bench_predict, bench_detect);
+criterion_main!(benches);

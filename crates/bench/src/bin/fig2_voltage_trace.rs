@@ -1,0 +1,99 @@
+//! Fig. 2 — predicted vs. real voltage trace at one noise-critical node,
+//! with 2 and with 7 selected sensors per core.
+//!
+//! Paper shape: even the 2-sensor model tracks the real trace closely;
+//! the 7-sensor model is visibly tighter.
+//!
+//! Run with: `cargo run --release -p voltsense-bench --bin fig2_voltage_trace`
+
+use voltsense::core::MethodologyConfig;
+use voltsense::scenario::PerCoreModel;
+use voltsense_bench::{rule, sparkline, Experiment};
+
+fn main() {
+    let exp = Experiment::from_env();
+    let config = MethodologyConfig::default();
+
+    // Two models: 2 and 7 sensors per core (the paper's comparison).
+    let model2 = PerCoreModel::fit_with_sensor_count(&exp.train, &exp.partition, 2, &config)
+        .expect("fit q=2");
+    let model7 = PerCoreModel::fit_with_sensor_count(&exp.train, &exp.partition, 7, &config)
+        .expect("fit q=7");
+    println!(
+        "models: {} and {} total sensors",
+        model2.total_sensors(),
+        model7.total_sensors()
+    );
+
+    // A contiguous step-by-step window of benchmark BM1 (sample_every = 1).
+    let window = 320;
+    let maps = exp
+        .scenario
+        .simulate_trace_window(0, window)
+        .expect("trace window");
+    let lattice = exp.scenario.chip().lattice();
+    let x = maps.candidate_matrix(lattice);
+    let f = maps.critical_matrix(&exp.data.critical_nodes);
+
+    // Pick the critical node with the deepest droop in the window.
+    let block = (0..f.rows())
+        .min_by(|&a, &b| {
+            let ma = f.row(a).iter().copied().fold(f64::INFINITY, f64::min);
+            let mb = f.row(b).iter().copied().fold(f64::INFINITY, f64::min);
+            ma.partial_cmp(&mb).expect("finite")
+        })
+        .expect("blocks exist");
+    println!(
+        "critical node of block {} ({}), {} timesteps @ {} ns\n",
+        block,
+        exp.scenario.chip().blocks()[block].kind(),
+        window,
+        maps.dt_ns()
+    );
+
+    let pred2 = model2.predict_matrix(&x).expect("predict q=2");
+    let pred7 = model7.predict_matrix(&x).expect("predict q=7");
+
+    let real: Vec<f64> = f.row(block).to_vec();
+    let p2: Vec<f64> = pred2.row(block).to_vec();
+    let p7: Vec<f64> = pred7.row(block).to_vec();
+
+    println!("real     {}", sparkline(&real));
+    println!("2/core   {}", sparkline(&p2));
+    println!("7/core   {}", sparkline(&p7));
+    println!();
+
+    // Numeric excerpt (every 20th step).
+    println!(
+        "{:>8}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "t (ns)", "real (V)", "2/core", "err (mV)", "7/core", "err (mV)"
+    );
+    rule(62);
+    for s in (0..window).step_by(20) {
+        println!(
+            "{:>8.0}  {:>9.4}  {:>9.4}  {:>9.3}  {:>9.4}  {:>9.3}",
+            maps.sample_steps()[s] as f64 * maps.dt_ns(),
+            real[s],
+            p2[s],
+            (p2[s] - real[s]).abs() * 1e3,
+            p7[s],
+            (p7[s] - real[s]).abs() * 1e3,
+        );
+    }
+    rule(62);
+
+    let rms = |p: &[f64]| {
+        (p.iter()
+            .zip(&real)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / real.len() as f64)
+            .sqrt()
+    };
+    println!(
+        "window RMS error: 2/core {:.3} mV, 7/core {:.3} mV  (paper shape: \
+         7-sensor error < 2-sensor error, both small)",
+        rms(&p2) * 1e3,
+        rms(&p7) * 1e3
+    );
+}

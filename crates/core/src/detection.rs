@@ -1,0 +1,192 @@
+//! Emergency-detection error accounting (the paper's Section 3.2 metrics).
+
+use voltsense_linalg::Matrix;
+
+use crate::CoreError;
+
+/// Detection error rates over a sample set.
+///
+/// * **Miss error (ME) rate** — fraction of *emergency* samples with no
+///   alarm.
+/// * **Wrong-alarm error (WAE) rate** — fraction of *non-emergency*
+///   samples with an alarm.
+/// * **Total error (TE) rate** — fraction of *all* samples with a wrong
+///   state (miss or wrong alarm), the paper's "dividing the number of
+///   samples in which wrong states reported by the number of total
+///   samples".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionOutcome {
+    /// ME rate (0 when there are no emergencies).
+    pub miss_rate: f64,
+    /// WAE rate (0 when every sample is an emergency).
+    pub wrong_alarm_rate: f64,
+    /// TE rate.
+    pub total_error_rate: f64,
+    /// Number of emergency samples.
+    pub emergencies: usize,
+    /// Number of missed emergencies.
+    pub misses: usize,
+    /// Number of wrong alarms.
+    pub wrong_alarms: usize,
+    /// Total samples evaluated.
+    pub samples: usize,
+}
+
+/// Labels each sample (column) of a critical-voltage matrix as an
+/// emergency when any node is below `threshold`.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_linalg::Matrix;
+/// use voltsense_core::detection::ground_truth;
+///
+/// # fn main() -> Result<(), voltsense_linalg::LinalgError> {
+/// let f = Matrix::from_rows(&[&[0.95, 0.80], &[0.99, 0.99]])?;
+/// assert_eq!(ground_truth(&f, 0.85), vec![false, true]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ground_truth(f: &Matrix, threshold: f64) -> Vec<bool> {
+    (0..f.cols())
+        .map(|s| (0..f.rows()).any(|k| f[(k, s)] < threshold))
+        .collect()
+}
+
+/// Scores a detector's alarms against ground-truth emergency labels.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeMismatch`] if the slices have different
+/// lengths or are empty.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_core::detection::evaluate;
+///
+/// # fn main() -> Result<(), voltsense_core::CoreError> {
+/// let truth =  [true,  true,  false, false];
+/// let alarms = [true,  false, true,  false];
+/// let outcome = evaluate(&truth, &alarms)?;
+/// assert_eq!(outcome.miss_rate, 0.5);        // 1 of 2 emergencies missed
+/// assert_eq!(outcome.wrong_alarm_rate, 0.5); // 1 of 2 quiet samples alarmed
+/// assert_eq!(outcome.total_error_rate, 0.5); // 2 of 4 samples wrong
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate(truth: &[bool], alarms: &[bool]) -> Result<DetectionOutcome, CoreError> {
+    if truth.len() != alarms.len() || truth.is_empty() {
+        return Err(CoreError::ShapeMismatch {
+            what: format!(
+                "truth has {} samples, alarms has {} (both must be equal and non-zero)",
+                truth.len(),
+                alarms.len()
+            ),
+        });
+    }
+    let mut emergencies = 0usize;
+    let mut misses = 0usize;
+    let mut wrong_alarms = 0usize;
+    for (&t, &a) in truth.iter().zip(alarms) {
+        if t {
+            emergencies += 1;
+            if !a {
+                misses += 1;
+            }
+        } else if a {
+            wrong_alarms += 1;
+        }
+    }
+    let samples = truth.len();
+    let non_emergencies = samples - emergencies;
+    Ok(DetectionOutcome {
+        miss_rate: if emergencies == 0 {
+            0.0
+        } else {
+            misses as f64 / emergencies as f64
+        },
+        wrong_alarm_rate: if non_emergencies == 0 {
+            0.0
+        } else {
+            wrong_alarms as f64 / non_emergencies as f64
+        },
+        total_error_rate: (misses + wrong_alarms) as f64 / samples as f64,
+        emergencies,
+        misses,
+        wrong_alarms,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detector_has_zero_errors() {
+        let truth = [true, false, true, false];
+        let outcome = evaluate(&truth, &truth).unwrap();
+        assert_eq!(outcome.miss_rate, 0.0);
+        assert_eq!(outcome.wrong_alarm_rate, 0.0);
+        assert_eq!(outcome.total_error_rate, 0.0);
+        assert_eq!(outcome.emergencies, 2);
+    }
+
+    #[test]
+    fn always_alarming_has_full_wae_zero_me() {
+        let truth = [true, false, false, false];
+        let alarms = [true, true, true, true];
+        let outcome = evaluate(&truth, &alarms).unwrap();
+        assert_eq!(outcome.miss_rate, 0.0);
+        assert_eq!(outcome.wrong_alarm_rate, 1.0);
+        assert_eq!(outcome.total_error_rate, 0.75);
+    }
+
+    #[test]
+    fn never_alarming_has_full_me_zero_wae() {
+        let truth = [true, true, false, false];
+        let alarms = [false, false, false, false];
+        let outcome = evaluate(&truth, &alarms).unwrap();
+        assert_eq!(outcome.miss_rate, 1.0);
+        assert_eq!(outcome.wrong_alarm_rate, 0.0);
+        assert_eq!(outcome.total_error_rate, 0.5);
+    }
+
+    #[test]
+    fn no_emergencies_me_defined_as_zero() {
+        let truth = [false, false];
+        let alarms = [false, true];
+        let outcome = evaluate(&truth, &alarms).unwrap();
+        assert_eq!(outcome.miss_rate, 0.0);
+        assert_eq!(outcome.wrong_alarm_rate, 0.5);
+    }
+
+    #[test]
+    fn counts_are_consistent_with_rates() {
+        let truth = [true, true, true, false, false, false, false, false];
+        let alarms = [true, false, false, true, false, false, false, false];
+        let o = evaluate(&truth, &alarms).unwrap();
+        assert_eq!(o.misses, 2);
+        assert_eq!(o.wrong_alarms, 1);
+        assert!((o.miss_rate - 2.0 / 3.0).abs() < 1e-15);
+        assert!((o.wrong_alarm_rate - 0.2).abs() < 1e-15);
+        assert!((o.total_error_rate - 3.0 / 8.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ground_truth_thresholds_any_row() {
+        let f = Matrix::from_rows(&[
+            &[0.90, 0.86, 0.84],
+            &[0.84, 0.99, 0.99],
+        ])
+        .unwrap();
+        assert_eq!(ground_truth(&f, 0.85), vec![true, false, true]);
+    }
+
+    #[test]
+    fn mismatched_or_empty_inputs_rejected() {
+        assert!(evaluate(&[true], &[true, false]).is_err());
+        assert!(evaluate(&[], &[]).is_err());
+    }
+}

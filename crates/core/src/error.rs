@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+use voltsense_grouplasso::GroupLassoError;
+use voltsense_linalg::LinalgError;
+
+/// Error type for the methodology pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Input matrices disagreed on a dimension or were empty.
+    ShapeMismatch {
+        /// Description of the failing check.
+        what: String,
+    },
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Human-readable description.
+        what: String,
+    },
+    /// The group-lasso step selected no sensors (λ or T out of useful
+    /// range).
+    NoSensorsSelected {
+        /// The budget used.
+        lambda: f64,
+        /// The threshold used.
+        threshold: f64,
+    },
+    /// Underlying dense algebra failed.
+    Linalg(LinalgError),
+    /// The group-lasso solver failed.
+    GroupLasso(GroupLassoError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
+            CoreError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            CoreError::NoSensorsSelected { lambda, threshold } => write!(
+                f,
+                "no sensors selected at lambda {lambda}, threshold {threshold}; \
+                 increase the budget or lower the threshold"
+            ),
+            CoreError::Linalg(e) => write!(f, "linear algebra failed: {e}"),
+            CoreError::GroupLasso(e) => write!(f, "group lasso failed: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            CoreError::GroupLasso(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+impl From<GroupLassoError> for CoreError {
+    fn from(e: GroupLassoError) -> Self {
+        CoreError::GroupLasso(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_chain() {
+        let err = CoreError::from(LinalgError::Singular { index: 0 });
+        assert!(err.source().is_some());
+        let err = CoreError::from(GroupLassoError::NonFinite { what: "Z" });
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn no_sensors_message_is_actionable() {
+        let err = CoreError::NoSensorsSelected {
+            lambda: 10.0,
+            threshold: 1e-3,
+        };
+        assert!(err.to_string().contains("increase the budget"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,135 @@
+//! Prediction-accuracy metrics (the paper's "aggregated relative
+//! prediction error", Table 1).
+
+use voltsense_linalg::Matrix;
+
+use crate::CoreError;
+
+/// Aggregated relative prediction error over all blocks and samples:
+/// `‖F* − F‖_F / ‖F‖_F`.
+///
+/// This is the metric the paper sweeps against λ in its Table 1 (reported
+/// there in percent; values like 0.51% → 0.04%).
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeMismatch`] if the matrices differ in shape or
+/// `actual` is all-zero.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_linalg::Matrix;
+/// use voltsense_core::metrics::relative_error;
+///
+/// # fn main() -> Result<(), voltsense_core::CoreError> {
+/// let truth = Matrix::from_rows(&[&[1.0, 1.0]])?;
+/// let pred = Matrix::from_rows(&[&[1.01, 0.99]])?;
+/// let err = relative_error(&pred, &truth)?;
+/// assert!((err - 0.01).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn relative_error(predicted: &Matrix, actual: &Matrix) -> Result<f64, CoreError> {
+    if predicted.shape() != actual.shape() {
+        return Err(CoreError::ShapeMismatch {
+            what: format!(
+                "predicted is {}x{}, actual is {}x{}",
+                predicted.rows(),
+                predicted.cols(),
+                actual.rows(),
+                actual.cols()
+            ),
+        });
+    }
+    let denom = actual.frobenius_norm();
+    if denom == 0.0 {
+        return Err(CoreError::ShapeMismatch {
+            what: "actual matrix is identically zero".into(),
+        });
+    }
+    let diff = predicted - actual;
+    Ok(diff.frobenius_norm() / denom)
+}
+
+/// Maximum absolute prediction error over all blocks and samples (V) —
+/// the worst-case miss the runtime monitor could make.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeMismatch`] on shape disagreement.
+pub fn max_abs_error(predicted: &Matrix, actual: &Matrix) -> Result<f64, CoreError> {
+    if predicted.shape() != actual.shape() {
+        return Err(CoreError::ShapeMismatch {
+            what: format!(
+                "predicted is {}x{}, actual is {}x{}",
+                predicted.rows(),
+                predicted.cols(),
+                actual.rows(),
+                actual.cols()
+            ),
+        });
+    }
+    let diff = predicted - actual;
+    Ok(diff.max_abs())
+}
+
+/// Root-mean-square prediction error (V).
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeMismatch`] on shape disagreement or empty
+/// input.
+pub fn rms_error(predicted: &Matrix, actual: &Matrix) -> Result<f64, CoreError> {
+    if predicted.shape() != actual.shape() || predicted.is_empty() {
+        return Err(CoreError::ShapeMismatch {
+            what: format!(
+                "predicted is {}x{}, actual is {}x{} (must match, non-empty)",
+                predicted.rows(),
+                predicted.cols(),
+                actual.rows(),
+                actual.cols()
+            ),
+        });
+    }
+    let diff = predicted - actual;
+    let n = (diff.rows() * diff.cols()) as f64;
+    Ok(diff.frobenius_norm() / n.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_for_identical_matrices() {
+        let a = Matrix::from_rows(&[&[0.9, 0.95], &[0.85, 0.99]]).unwrap();
+        assert_eq!(relative_error(&a, &a).unwrap(), 0.0);
+        assert_eq!(max_abs_error(&a, &a).unwrap(), 0.0);
+        assert_eq!(rms_error(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let truth = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap(); // ‖F‖ = 5
+        let pred = Matrix::from_rows(&[&[3.3, 4.4]]).unwrap(); // diff = (0.3, 0.4), ‖·‖ = 0.5
+        assert!((relative_error(&pred, &truth).unwrap() - 0.1).abs() < 1e-12);
+        assert!((max_abs_error(&pred, &truth).unwrap() - 0.4).abs() < 1e-12);
+        assert!((rms_error(&pred, &truth).unwrap() - 0.5 / 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        assert!(relative_error(&a, &b).is_err());
+        assert!(max_abs_error(&a, &b).is_err());
+        assert!(rms_error(&a, &b).is_err());
+    }
+
+    #[test]
+    fn zero_actual_rejected() {
+        let a = Matrix::zeros(2, 2);
+        assert!(relative_error(&a, &a).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! Stateful runtime monitoring: the deployment wrapper around the fitted
+//! prediction model.
+//!
+//! The paper evaluates per-sample detection; a real noise-management loop
+//! (throttling, clock stretching — its references [6, 10–12]) adds two
+//! operational details this module provides:
+//!
+//! * **persistence (debounce)** — require `persistence` consecutive
+//!   threshold crossings before asserting, filtering single-sample blips
+//!   that a hardware actuator could never react to anyway;
+//! * **hysteresis** — once asserted, release only after the predicted
+//!   worst voltage recovers above `threshold + release_margin`, avoiding
+//!   alarm chatter around the margin.
+
+use crate::predict::VoltageMapModel;
+use crate::CoreError;
+
+/// One monitoring decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorDecision {
+    /// Predicted worst critical-node voltage this sample (V).
+    pub predicted_min: f64,
+    /// Index of the block (row of `F`) predicted worst.
+    pub worst_block: usize,
+    /// Whether the alarm output is asserted after debounce/hysteresis.
+    pub alarm: bool,
+    /// `true` on the sample where the alarm transitions 0 → 1.
+    pub rising_edge: bool,
+}
+
+/// Counters accumulated over a monitoring session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MonitorStats {
+    /// Samples observed.
+    pub samples: u64,
+    /// Samples with the alarm asserted.
+    pub alarmed_samples: u64,
+    /// Number of distinct alarm events (rising edges).
+    pub alarm_events: u64,
+}
+
+/// A stateful emergency monitor around a fitted [`VoltageMapModel`].
+///
+/// # Example
+///
+/// ```
+/// use voltsense_linalg::Matrix;
+/// use voltsense_core::{VoltageMapModel, monitor::EmergencyMonitor};
+///
+/// # fn main() -> Result<(), voltsense_core::CoreError> {
+/// let x = Matrix::from_rows(&[&[0.99, 0.84, 0.93, 0.88]])?;
+/// let f = Matrix::from_rows(&[&[0.98, 0.82, 0.91, 0.86]])?;
+/// let model = VoltageMapModel::fit(&x, &f, &[0])?;
+/// // Alarm immediately (persistence 1), release 10 mV above threshold.
+/// let mut monitor = EmergencyMonitor::new(model, 0.85, 1, 0.010)?;
+/// let decision = monitor.observe(&[0.83])?;
+/// assert!(decision.alarm && decision.rising_edge);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmergencyMonitor {
+    model: VoltageMapModel,
+    threshold: f64,
+    persistence: usize,
+    release_margin: f64,
+    consecutive: usize,
+    asserted: bool,
+    stats: MonitorStats,
+}
+
+impl EmergencyMonitor {
+    /// Creates a monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `threshold` is not positive
+    /// and finite, `persistence` is zero, or `release_margin` is negative.
+    pub fn new(
+        model: VoltageMapModel,
+        threshold: f64,
+        persistence: usize,
+        release_margin: f64,
+    ) -> Result<Self, CoreError> {
+        if !(threshold > 0.0) || !threshold.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: format!("threshold must be finite and > 0, got {threshold}"),
+            });
+        }
+        if persistence == 0 {
+            return Err(CoreError::InvalidConfig {
+                what: "persistence must be at least 1 sample".into(),
+            });
+        }
+        if !(release_margin >= 0.0) || !release_margin.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: format!("release margin must be finite and >= 0, got {release_margin}"),
+            });
+        }
+        Ok(EmergencyMonitor {
+            model,
+            threshold,
+            persistence,
+            release_margin,
+            consecutive: 0,
+            asserted: false,
+            stats: MonitorStats::default(),
+        })
+    }
+
+    /// The wrapped prediction model.
+    pub fn model(&self) -> &VoltageMapModel {
+        &self.model
+    }
+
+    /// Accumulated session counters.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// `true` while the alarm output is asserted.
+    pub fn is_alarmed(&self) -> bool {
+        self.asserted
+    }
+
+    /// Resets the debounce/hysteresis state and counters.
+    pub fn reset(&mut self) {
+        self.consecutive = 0;
+        self.asserted = false;
+        self.stats = MonitorStats::default();
+    }
+
+    /// Feeds one sample of placed-sensor readings (`Q` values) and returns
+    /// the monitoring decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if the reading count differs
+    /// from the model's sensor count.
+    pub fn observe(&mut self, sensor_readings: &[f64]) -> Result<MonitorDecision, CoreError> {
+        let predicted = self.model.predict_from_sensors(sensor_readings)?;
+        let (worst_block, predicted_min) = predicted
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite prediction"))
+            .map(|(k, &v)| (k, v))
+            .expect("model predicts at least one block");
+
+        let was_asserted = self.asserted;
+        if self.asserted {
+            // Hysteresis: release only above threshold + margin.
+            if predicted_min >= self.threshold + self.release_margin {
+                self.asserted = false;
+                self.consecutive = 0;
+            }
+        } else if predicted_min < self.threshold {
+            self.consecutive += 1;
+            if self.consecutive >= self.persistence {
+                self.asserted = true;
+            }
+        } else {
+            self.consecutive = 0;
+        }
+
+        let rising_edge = self.asserted && !was_asserted;
+        self.stats.samples += 1;
+        if self.asserted {
+            self.stats.alarmed_samples += 1;
+        }
+        if rising_edge {
+            self.stats.alarm_events += 1;
+        }
+        Ok(MonitorDecision {
+            predicted_min,
+            worst_block,
+            alarm: self.asserted,
+            rising_edge,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltsense_linalg::Matrix;
+
+    /// Identity-ish model: one sensor, one block, f ≈ x.
+    fn model() -> VoltageMapModel {
+        let x = Matrix::from_rows(&[&[0.95, 0.90, 0.85, 0.80, 0.99]]).unwrap();
+        let f = x.clone();
+        VoltageMapModel::fit(&x, &f, &[0]).unwrap()
+    }
+
+    #[test]
+    fn persistence_filters_single_sample_blips() {
+        let mut m = EmergencyMonitor::new(model(), 0.85, 3, 0.0).unwrap();
+        // Two crossings then recovery: never alarms.
+        assert!(!m.observe(&[0.84]).unwrap().alarm);
+        assert!(!m.observe(&[0.84]).unwrap().alarm);
+        assert!(!m.observe(&[0.95]).unwrap().alarm);
+        // Three consecutive crossings: alarms on the third.
+        assert!(!m.observe(&[0.84]).unwrap().alarm);
+        assert!(!m.observe(&[0.84]).unwrap().alarm);
+        let d = m.observe(&[0.84]).unwrap();
+        assert!(d.alarm && d.rising_edge);
+        assert_eq!(m.stats().alarm_events, 1);
+    }
+
+    #[test]
+    fn hysteresis_prevents_chatter() {
+        let mut m = EmergencyMonitor::new(model(), 0.85, 1, 0.02).unwrap();
+        assert!(m.observe(&[0.84]).unwrap().alarm);
+        // Recovers above threshold but inside the release band: stays on.
+        assert!(m.observe(&[0.86]).unwrap().alarm);
+        // Clears the band: releases.
+        assert!(!m.observe(&[0.88]).unwrap().alarm);
+        assert_eq!(m.stats().alarm_events, 1);
+    }
+
+    #[test]
+    fn edges_and_counters_are_consistent() {
+        let mut m = EmergencyMonitor::new(model(), 0.85, 1, 0.0).unwrap();
+        let seq = [0.9, 0.84, 0.84, 0.9, 0.83, 0.9];
+        let mut edges = 0;
+        for v in seq {
+            if m.observe(&[v]).unwrap().rising_edge {
+                edges += 1;
+            }
+        }
+        assert_eq!(edges, 2);
+        let s = m.stats();
+        assert_eq!(s.samples, 6);
+        assert_eq!(s.alarm_events, 2);
+        assert_eq!(s.alarmed_samples, 3);
+    }
+
+    #[test]
+    fn worst_block_is_reported() {
+        // Two blocks: block 1 sits 20 mV below block 0.
+        let x = Matrix::from_rows(&[&[0.95, 0.90, 0.85, 0.80]]).unwrap();
+        let f = Matrix::from_rows(&[
+            &[0.95, 0.90, 0.85, 0.80],
+            &[0.93, 0.88, 0.83, 0.78],
+        ])
+        .unwrap();
+        let model = VoltageMapModel::fit(&x, &f, &[0]).unwrap();
+        let mut m = EmergencyMonitor::new(model, 0.85, 1, 0.0).unwrap();
+        let d = m.observe(&[0.9]).unwrap();
+        assert_eq!(d.worst_block, 1);
+        assert!((d.predicted_min - 0.88).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = EmergencyMonitor::new(model(), 0.85, 1, 0.0).unwrap();
+        m.observe(&[0.80]).unwrap();
+        assert!(m.is_alarmed());
+        m.reset();
+        assert!(!m.is_alarmed());
+        assert_eq!(m.stats(), MonitorStats::default());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(EmergencyMonitor::new(model(), 0.0, 1, 0.0).is_err());
+        assert!(EmergencyMonitor::new(model(), 0.85, 0, 0.0).is_err());
+        assert!(EmergencyMonitor::new(model(), 0.85, 1, -0.1).is_err());
+        assert!(EmergencyMonitor::new(model(), f64::NAN, 1, 0.0).is_err());
+    }
+
+    #[test]
+    fn wrong_reading_count_rejected() {
+        let mut m = EmergencyMonitor::new(model(), 0.85, 1, 0.0).unwrap();
+        assert!(m.observe(&[0.9, 0.9]).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+use voltsense_grouplasso::GlOptions;
+use voltsense_linalg::Matrix;
+
+use crate::detection::{self, DetectionOutcome};
+use crate::metrics;
+use crate::predict::VoltageMapModel;
+use crate::selection::{SelectionResult, SensorSelector};
+use crate::CoreError;
+
+/// Configuration of the full methodology (the paper's Step 0).
+#[derive(Debug, Clone)]
+pub struct MethodologyConfig {
+    /// Group-lasso budget λ (the paper sweeps 10–60).
+    pub lambda: f64,
+    /// Selection threshold T on `‖β_m‖₂` (the paper uses `1e-3`).
+    pub threshold: f64,
+    /// Emergency threshold in volts (the paper uses 0.85 V at VDD 1.0 V).
+    pub emergency_threshold: f64,
+    /// Group-lasso solver options.
+    pub gl_options: GlOptions,
+}
+
+impl Default for MethodologyConfig {
+    fn default() -> Self {
+        MethodologyConfig {
+            lambda: 10.0,
+            threshold: 1e-3,
+            emergency_threshold: 0.85,
+            gl_options: GlOptions::default(),
+        }
+    }
+}
+
+/// The end-to-end methodology (Steps 0–8): selection + OLS refit.
+///
+/// See the [crate-level docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct Methodology;
+
+impl Methodology {
+    /// Runs Steps 1–8 on training data `x` (`M x N` candidate voltages)
+    /// and `f` (`K x N` critical-node voltages).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfig`] for out-of-range configuration.
+    /// * [`CoreError::ShapeMismatch`] for inconsistent training data.
+    /// * [`CoreError::NoSensorsSelected`] if λ/T leave nothing selected.
+    /// * Propagates solver failures.
+    pub fn fit(
+        x: &Matrix,
+        f: &Matrix,
+        config: &MethodologyConfig,
+    ) -> Result<FittedMethodology, CoreError> {
+        if !(config.emergency_threshold > 0.0) || !config.emergency_threshold.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: format!(
+                    "emergency threshold must be finite and > 0, got {}",
+                    config.emergency_threshold
+                ),
+            });
+        }
+        // Steps 1–5: normalize + group lasso + threshold.
+        let selector = SensorSelector::with_options(
+            config.lambda,
+            config.threshold,
+            config.gl_options.clone(),
+        )?;
+        let selection = selector.select(x, f)?;
+        // Steps 6–8: OLS refit on the selected sensors, in volts.
+        let model = VoltageMapModel::fit(x, f, &selection.selected)?;
+        Ok(FittedMethodology {
+            selection,
+            model,
+            emergency_threshold: config.emergency_threshold,
+        })
+    }
+
+    /// Fits the pipeline with a *target sensor count* instead of a budget:
+    /// bisects λ until exactly `q` sensors are selected (or the closest
+    /// achievable count if `q` falls inside a jump of the selection path).
+    ///
+    /// This is how the paper's comparisons are set up ("2 sensors per
+    /// core", "7 sensors available"): the budget λ is the knob, the sensor
+    /// count the requirement.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Methodology::fit`]; additionally
+    /// [`CoreError::InvalidConfig`] if `q` is zero or exceeds the
+    /// candidate count.
+    pub fn fit_with_sensor_count(
+        x: &Matrix,
+        f: &Matrix,
+        q: usize,
+        config: &MethodologyConfig,
+    ) -> Result<FittedMethodology, CoreError> {
+        if !(config.emergency_threshold > 0.0) || !config.emergency_threshold.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: format!(
+                    "emergency threshold must be finite and > 0, got {}",
+                    config.emergency_threshold
+                ),
+            });
+        }
+        // Build the (expensive) covariance form once and bisect the
+        // penalty directly for the target count.
+        let prepared = crate::selection::SelectionProblem::new(x, f)?;
+        let selection = prepared.select_with_count(q, config.threshold, &config.gl_options)?;
+        let model = VoltageMapModel::fit(x, f, &selection.selected)?;
+        Ok(FittedMethodology {
+            selection,
+            model,
+            emergency_threshold: config.emergency_threshold,
+        })
+    }
+}
+
+/// A fitted pipeline: the sensor placement plus the runtime prediction
+/// model.
+#[derive(Debug, Clone)]
+pub struct FittedMethodology {
+    selection: SelectionResult,
+    model: VoltageMapModel,
+    emergency_threshold: f64,
+}
+
+impl FittedMethodology {
+    /// Indices of the placed sensors.
+    pub fn sensors(&self) -> &[usize] {
+        &self.selection.selected
+    }
+
+    /// The group-lasso selection diagnostics (group norms, μ, budget).
+    pub fn selection(&self) -> &SelectionResult {
+        &self.selection
+    }
+
+    /// The runtime voltage-map model.
+    pub fn model(&self) -> &VoltageMapModel {
+        &self.model
+    }
+
+    /// The emergency threshold the pipeline detects against.
+    pub fn emergency_threshold(&self) -> f64 {
+        self.emergency_threshold
+    }
+
+    /// Evaluates prediction accuracy and detection error rates on held-out
+    /// data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] on inconsistent test data.
+    pub fn evaluate(&self, x_test: &Matrix, f_test: &Matrix) -> Result<EvaluationReport, CoreError> {
+        let predicted = self.model.predict_matrix(x_test)?;
+        let relative_error = metrics::relative_error(&predicted, f_test)?;
+        let rms_error = metrics::rms_error(&predicted, f_test)?;
+        let max_abs_error = metrics::max_abs_error(&predicted, f_test)?;
+
+        let truth = detection::ground_truth(f_test, self.emergency_threshold);
+        let alarms = self
+            .model
+            .detect_matrix(x_test, self.emergency_threshold)?;
+        let detection = detection::evaluate(&truth, &alarms)?;
+
+        Ok(EvaluationReport {
+            relative_error,
+            rms_error,
+            max_abs_error,
+            detection,
+        })
+    }
+}
+
+/// Held-out evaluation of a fitted pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvaluationReport {
+    /// `‖F* − F‖_F / ‖F‖_F` (the paper's Table 1 metric).
+    pub relative_error: f64,
+    /// RMS prediction error (V).
+    pub rms_error: f64,
+    /// Worst-case prediction error (V).
+    pub max_abs_error: f64,
+    /// Detection error rates at the configured emergency threshold.
+    pub detection: DetectionOutcome,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic chip-like data: two "critical nodes" driven by two
+    /// informative candidates among five; droops cross 0.85 sometimes.
+    fn training(n: usize, phase: f64) -> (Matrix, Matrix) {
+        let mut x = Matrix::zeros(5, n);
+        let mut f = Matrix::zeros(2, n);
+        for s in 0..n {
+            let t = s as f64 + phase;
+            let droop0 = 0.08 * (0.5 + 0.5 * (t * 0.9).sin());
+            let droop1 = 0.10 * (0.5 + 0.5 * (t * 1.7).cos());
+            x[(0, s)] = 0.97 - droop0 * 0.9;
+            x[(1, s)] = 0.97 - 0.002 * (t * 2.2).sin();
+            x[(2, s)] = 0.98 - droop1 * 0.8;
+            x[(3, s)] = 0.96 + 0.003 * (t * 3.1).cos();
+            x[(4, s)] = 0.97 - 0.3 * droop0 - 0.2 * droop1;
+            f[(0, s)] = 0.95 - droop0 * 1.3;
+            f[(1, s)] = 0.96 - droop1 * 1.2;
+        }
+        (x, f)
+    }
+
+    #[test]
+    fn end_to_end_fit_and_evaluate() {
+        let (x, f) = training(120, 0.0);
+        let (x_test, f_test) = training(80, 1000.0);
+        let fitted = Methodology::fit(&x, &f, &MethodologyConfig::default()).unwrap();
+        assert!(!fitted.sensors().is_empty());
+        let report = fitted.evaluate(&x_test, &f_test).unwrap();
+        // Noiseless linear ground truth → tiny relative error.
+        assert!(report.relative_error < 1e-6, "rel err {}", report.relative_error);
+        assert_eq!(report.detection.miss_rate, 0.0);
+        assert_eq!(report.detection.wrong_alarm_rate, 0.0);
+        assert!(report.detection.emergencies > 0, "test data has no emergencies");
+    }
+
+    #[test]
+    fn larger_lambda_never_selects_fewer() {
+        let (x, f) = training(150, 0.0);
+        let small = Methodology::fit(
+            &x,
+            &f,
+            &MethodologyConfig {
+                lambda: 0.7,
+                ..MethodologyConfig::default()
+            },
+        )
+        .unwrap();
+        let large = Methodology::fit(&x, &f, &MethodologyConfig::default()).unwrap();
+        assert!(small.sensors().len() <= large.sensors().len());
+    }
+
+    #[test]
+    fn accuracy_improves_with_lambda() {
+        let (x, f) = training(150, 0.0);
+        let (x_test, f_test) = training(90, 555.0);
+        // Corrupt the extra candidates' usefulness by evaluating a small-λ
+        // fit (likely 1 sensor) vs a large-λ fit (more sensors).
+        let small = Methodology::fit(
+            &x,
+            &f,
+            &MethodologyConfig {
+                lambda: 0.5,
+                ..MethodologyConfig::default()
+            },
+        )
+        .unwrap();
+        let large = Methodology::fit(&x, &f, &MethodologyConfig::default()).unwrap();
+        let es = small.evaluate(&x_test, &f_test).unwrap();
+        let el = large.evaluate(&x_test, &f_test).unwrap();
+        assert!(el.relative_error <= es.relative_error + 1e-12);
+    }
+
+    #[test]
+    fn fit_with_sensor_count_hits_target() {
+        let (x, f) = training(150, 0.0);
+        for q in 1..=2 {
+            let fitted =
+                Methodology::fit_with_sensor_count(&x, &f, q, &MethodologyConfig::default())
+                    .unwrap();
+            // The selection path may jump over some counts; allow ±1.
+            let got = fitted.sensors().len();
+            assert!(
+                (got as i64 - q as i64).abs() <= 1,
+                "asked for {q} sensors, got {got}"
+            );
+        }
+        // q = 4 exceeds what this (two-signal) data can support: the
+        // helper returns the closest achievable count instead of failing.
+        let fitted =
+            Methodology::fit_with_sensor_count(&x, &f, 4, &MethodologyConfig::default())
+                .unwrap();
+        assert!(fitted.sensors().len() >= 2);
+    }
+
+    #[test]
+    fn fit_with_sensor_count_rejects_bad_targets() {
+        let (x, f) = training(60, 0.0);
+        let cfg = MethodologyConfig::default();
+        assert!(Methodology::fit_with_sensor_count(&x, &f, 0, &cfg).is_err());
+        assert!(Methodology::fit_with_sensor_count(&x, &f, 99, &cfg).is_err());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (x, f) = training(50, 0.0);
+        let mut cfg = MethodologyConfig::default();
+        cfg.emergency_threshold = -1.0;
+        assert!(Methodology::fit(&x, &f, &cfg).is_err());
+        let mut cfg = MethodologyConfig::default();
+        cfg.lambda = 0.0;
+        assert!(Methodology::fit(&x, &f, &cfg).is_err());
+    }
+
+    #[test]
+    fn evaluate_shape_checked() {
+        let (x, f) = training(50, 0.0);
+        let fitted = Methodology::fit(&x, &f, &MethodologyConfig::default()).unwrap();
+        assert!(fitted.evaluate(&Matrix::zeros(3, 10), &f).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+use voltsense_linalg::lstsq::{self, LinearFit};
+use voltsense_linalg::Matrix;
+
+use crate::selection::SelectionResult;
+use crate::CoreError;
+
+/// The paper's runtime prediction model (Section 2.3): an OLS refit of
+/// the critical-node voltages on the *selected* sensors only, in original
+/// volt units (Eq. 17–20).
+///
+/// The refit matters: the group-lasso coefficients are biased towards zero
+/// by the budget constraint (the paper's two-candidate example around
+/// Eq. 15–16), so a model read straight off `β` under-predicts droops.
+/// Compare with [`GlDirectModel`] in the `ablation_refit` experiment.
+///
+/// See the [crate-level docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct VoltageMapModel {
+    sensor_indices: Vec<usize>,
+    fit: LinearFit,
+    num_candidates: usize,
+}
+
+impl VoltageMapModel {
+    /// Fits the model: OLS of `f` on the `sensors` rows of `x`
+    /// (both in volts).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ShapeMismatch`] on sample-count mismatch, an empty
+    ///   sensor list, or an out-of-range sensor index.
+    /// * Propagates least-squares failures.
+    pub fn fit(x: &Matrix, f: &Matrix, sensors: &[usize]) -> Result<Self, CoreError> {
+        if x.cols() != f.cols() {
+            return Err(CoreError::ShapeMismatch {
+                what: format!(
+                    "X has {} samples, F has {} — they must match",
+                    x.cols(),
+                    f.cols()
+                ),
+            });
+        }
+        if sensors.is_empty() {
+            return Err(CoreError::ShapeMismatch {
+                what: "sensor list is empty".into(),
+            });
+        }
+        if let Some(&bad) = sensors.iter().find(|&&s| s >= x.rows()) {
+            return Err(CoreError::ShapeMismatch {
+                what: format!("sensor index {bad} out of range for {} candidates", x.rows()),
+            });
+        }
+        let x_sel = x.select_rows(sensors);
+        let fit = lstsq::ols_with_intercept(&x_sel, f)?;
+        Ok(VoltageMapModel {
+            sensor_indices: sensors.to_vec(),
+            fit,
+            num_candidates: x.rows(),
+        })
+    }
+
+    /// Indices of the placed sensors within the candidate set.
+    pub fn sensor_indices(&self) -> &[usize] {
+        &self.sensor_indices
+    }
+
+    /// Number of sensors `Q`.
+    pub fn num_sensors(&self) -> usize {
+        self.sensor_indices.len()
+    }
+
+    /// Number of predicted critical nodes `K`.
+    pub fn num_targets(&self) -> usize {
+        self.fit.coefficients.rows()
+    }
+
+    /// Number of candidates the model was fitted against (for
+    /// full-candidate-vector prediction).
+    pub fn num_candidates(&self) -> usize {
+        self.num_candidates
+    }
+
+    /// The fitted coefficients `α^S` (`K x Q`) and intercept `c`.
+    pub fn linear_fit(&self) -> &LinearFit {
+        &self.fit
+    }
+
+    /// Training root-mean-square residual (V).
+    pub fn rms_residual(&self) -> f64 {
+        self.fit.rms_residual
+    }
+
+    /// Predicts all critical-node voltages from the `Q` placed sensors'
+    /// readings (Eq. 20) — the cheap runtime operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if `readings.len() != Q`.
+    pub fn predict_from_sensors(&self, readings: &[f64]) -> Result<Vec<f64>, CoreError> {
+        if readings.len() != self.num_sensors() {
+            return Err(CoreError::ShapeMismatch {
+                what: format!(
+                    "expected {} sensor readings, got {}",
+                    self.num_sensors(),
+                    readings.len()
+                ),
+            });
+        }
+        Ok(self.fit.predict(readings)?)
+    }
+
+    /// Predicts from a full candidate-voltage vector (`M` values), picking
+    /// out the placed sensors' entries — convenient when evaluating on
+    /// simulated maps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if
+    /// `candidates.len() != self.num_candidates()`.
+    pub fn predict_from_candidates(&self, candidates: &[f64]) -> Result<Vec<f64>, CoreError> {
+        if candidates.len() != self.num_candidates {
+            return Err(CoreError::ShapeMismatch {
+                what: format!(
+                    "expected {} candidate voltages, got {}",
+                    self.num_candidates,
+                    candidates.len()
+                ),
+            });
+        }
+        let readings: Vec<f64> = self
+            .sensor_indices
+            .iter()
+            .map(|&s| candidates[s])
+            .collect();
+        self.predict_from_sensors(&readings)
+    }
+
+    /// Batch prediction over an `M x N` candidate matrix, returning
+    /// `K x N` predicted critical voltages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if `x.rows()` differs from the
+    /// fitted candidate count.
+    pub fn predict_matrix(&self, x: &Matrix) -> Result<Matrix, CoreError> {
+        if x.rows() != self.num_candidates {
+            return Err(CoreError::ShapeMismatch {
+                what: format!(
+                    "X has {} rows, model was fitted over {} candidates",
+                    x.rows(),
+                    self.num_candidates
+                ),
+            });
+        }
+        let x_sel = x.select_rows(&self.sensor_indices);
+        Ok(self.fit.predict_matrix(&x_sel)?)
+    }
+
+    /// Emergency decision for one candidate-voltage sample: alarm if any
+    /// predicted critical voltage is below `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VoltageMapModel::predict_from_candidates`].
+    pub fn detect(&self, candidates: &[f64], threshold: f64) -> Result<bool, CoreError> {
+        Ok(self
+            .predict_from_candidates(candidates)?
+            .iter()
+            .any(|&v| v < threshold))
+    }
+
+    /// Emergency decisions for every column of an `M x N` candidate
+    /// matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VoltageMapModel::predict_matrix`].
+    pub fn detect_matrix(&self, x: &Matrix, threshold: f64) -> Result<Vec<bool>, CoreError> {
+        let pred = self.predict_matrix(x)?;
+        Ok((0..pred.cols())
+            .map(|s| (0..pred.rows()).any(|k| pred[(k, s)] < threshold))
+            .collect())
+    }
+}
+
+/// The paper's Eq. 14 strawman: predict directly from the (normalized,
+/// budget-biased) group-lasso coefficients without the OLS refit.
+///
+/// Exists for the ablation experiment showing why the refit is necessary;
+/// production use should go through [`VoltageMapModel`].
+#[derive(Debug, Clone)]
+pub struct GlDirectModel {
+    beta_selected: Matrix,
+    selection: SelectionResult,
+}
+
+impl GlDirectModel {
+    /// Builds the direct model from a selection result.
+    pub fn from_selection(selection: SelectionResult) -> Self {
+        let beta_selected = selection.beta.select_cols(&selection.selected);
+        GlDirectModel {
+            beta_selected,
+            selection,
+        }
+    }
+
+    /// Predicts critical-node voltages from a full candidate-voltage
+    /// vector using the GL coefficients: normalize the selected readings,
+    /// apply `β`, invert the target normalization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if the vector length differs
+    /// from the fitted candidate count.
+    pub fn predict_from_candidates(&self, candidates: &[f64]) -> Result<Vec<f64>, CoreError> {
+        let z = self.selection.x_normalizer.apply_vec(candidates)?;
+        let z_sel: Vec<f64> = self.selection.selected.iter().map(|&m| z[m]).collect();
+        let g = self.beta_selected.matvec(&z_sel)?;
+        Ok(self.selection.f_normalizer.invert_vec(&g)?)
+    }
+
+    /// The selection this model was built from.
+    pub fn selection(&self) -> &SelectionResult {
+        &self.selection
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SensorSelector;
+
+    /// f0 = 0.9·x0 + 0.05, f1 = 0.5·x0 + 0.5·x2 (noiseless).
+    fn training() -> (Matrix, Matrix) {
+        let n = 30;
+        let mut x = Matrix::zeros(3, n);
+        let mut f = Matrix::zeros(2, n);
+        for s in 0..n {
+            let t = s as f64;
+            let x0 = 0.93 + 0.05 * (t * 0.7).sin();
+            let x1 = 0.95 + 0.01 * (t * 2.1).cos();
+            let x2 = 0.94 + 0.04 * (t * 1.3).cos();
+            x[(0, s)] = x0;
+            x[(1, s)] = x1;
+            x[(2, s)] = x2;
+            f[(0, s)] = 0.9 * x0 + 0.05;
+            f[(1, s)] = 0.5 * x0 + 0.5 * x2;
+        }
+        (x, f)
+    }
+
+    #[test]
+    fn noiseless_fit_recovers_model() {
+        let (x, f) = training();
+        let model = VoltageMapModel::fit(&x, &f, &[0, 2]).unwrap();
+        assert!(model.rms_residual() < 1e-10);
+        let pred = model.predict_from_sensors(&[0.90, 0.95]).unwrap();
+        assert!((pred[0] - (0.9 * 0.90 + 0.05)).abs() < 1e-9);
+        assert!((pred[1] - (0.5 * 0.90 + 0.5 * 0.95)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn candidate_and_sensor_paths_agree() {
+        let (x, f) = training();
+        let model = VoltageMapModel::fit(&x, &f, &[0, 2]).unwrap();
+        let full = [0.91, 0.95, 0.93];
+        let via_candidates = model.predict_from_candidates(&full).unwrap();
+        let via_sensors = model.predict_from_sensors(&[0.91, 0.93]).unwrap();
+        assert_eq!(via_candidates, via_sensors);
+    }
+
+    #[test]
+    fn batch_prediction_matches_single() {
+        let (x, f) = training();
+        let model = VoltageMapModel::fit(&x, &f, &[0, 2]).unwrap();
+        let batch = model.predict_matrix(&x).unwrap();
+        for s in [0usize, 7, 19] {
+            let single = model.predict_from_candidates(&x.col(s)).unwrap();
+            for k in 0..2 {
+                assert!((batch[(k, s)] - single[k]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn detection_thresholds_predictions() {
+        let (x, f) = training();
+        let model = VoltageMapModel::fit(&x, &f, &[0, 2]).unwrap();
+        // Drive candidate 0 low so f0 = 0.9·x0 + 0.05 < 0.85 ⇔ x0 < 0.889.
+        assert!(model.detect(&[0.86, 0.95, 0.95], 0.85).unwrap());
+        assert!(!model.detect(&[0.95, 0.95, 0.95], 0.85).unwrap());
+        let alarms = model.detect_matrix(&x, 0.85).unwrap();
+        assert_eq!(alarms.len(), x.cols());
+    }
+
+    #[test]
+    fn shape_errors() {
+        let (x, f) = training();
+        assert!(VoltageMapModel::fit(&x, &f, &[]).is_err());
+        assert!(VoltageMapModel::fit(&x, &f, &[7]).is_err());
+        let f_bad = Matrix::zeros(2, 5);
+        assert!(VoltageMapModel::fit(&x, &f_bad, &[0]).is_err());
+        let model = VoltageMapModel::fit(&x, &f, &[0, 2]).unwrap();
+        assert!(model.predict_from_sensors(&[1.0]).is_err());
+        assert!(model.predict_from_candidates(&[1.0]).is_err());
+        assert!(model.predict_matrix(&Matrix::zeros(5, 4)).is_err());
+    }
+
+    #[test]
+    fn gl_direct_model_is_biased_towards_zero_droop() {
+        // The constrained GL shrinks coefficients, so the direct model
+        // under-reacts to droops compared with the OLS refit — exactly the
+        // argument of the paper's Section 2.3 example.
+        let (x, f) = training();
+        let selector = SensorSelector::new(0.8, 1e-3).unwrap();
+        let selection = selector.select(&x, &f).unwrap();
+        let refit = VoltageMapModel::fit(&x, &f, &selection.selected).unwrap();
+        let direct = GlDirectModel::from_selection(selection);
+
+        // A deep droop on the informative candidates.
+        let sample = [0.80, 0.95, 0.82];
+        let refit_pred = refit.predict_from_candidates(&sample).unwrap();
+        let direct_pred = direct.predict_from_candidates(&sample).unwrap();
+        // The direct model predicts milder droops (higher voltage).
+        assert!(
+            direct_pred[0] > refit_pred[0],
+            "direct {direct_pred:?} vs refit {refit_pred:?}"
+        );
+    }
+
+    #[test]
+    fn gl_direct_prediction_shape_checked() {
+        let (x, f) = training();
+        let selection = SensorSelector::new(0.8, 1e-3)
+            .unwrap()
+            .select(&x, &f)
+            .unwrap();
+        let direct = GlDirectModel::from_selection(selection);
+        assert!(direct.predict_from_candidates(&[1.0]).is_err());
+    }
+}

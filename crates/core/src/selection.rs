@@ -1,0 +1,430 @@
+use voltsense_grouplasso::{solve_constrained, solve_penalized, GlOptions, GlProblem};
+use voltsense_linalg::stats::Normalizer;
+use voltsense_linalg::Matrix;
+
+use crate::CoreError;
+
+/// Result of the group-lasso sensor-selection step (paper Steps 3–5).
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// Indices of the selected sensors (ascending, into the candidate
+    /// rows of `X`).
+    pub selected: Vec<usize>,
+    /// Group norms `‖β_m‖₂` of every candidate — the quantities plotted in
+    /// the paper's Fig. 1.
+    pub group_norms: Vec<f64>,
+    /// The normalized GL coefficient matrix `β` (`K x M`).
+    pub beta: Matrix,
+    /// The penalty `μ(λ)` the constrained solve landed on.
+    pub mu: f64,
+    /// Budget `Σ‖β_m‖₂` actually consumed (≤ λ).
+    pub budget_used: f64,
+    /// The candidate normalizer (needed to evaluate β on new data).
+    pub x_normalizer: Normalizer,
+    /// The target normalizer.
+    pub f_normalizer: Normalizer,
+}
+
+impl SelectionResult {
+    /// Number of selected sensors `Q`.
+    pub fn num_selected(&self) -> usize {
+        self.selected.len()
+    }
+}
+
+/// Sensor selection via the constrained multi-task group lasso
+/// (paper Section 2.2).
+///
+/// # Example
+///
+/// ```
+/// use voltsense_linalg::Matrix;
+/// use voltsense_core::SensorSelector;
+///
+/// # fn main() -> Result<(), voltsense_core::CoreError> {
+/// let x = Matrix::from_rows(&[
+///     &[0.99, 0.84, 0.93, 0.88, 0.97, 0.86],
+///     &[0.96, 0.95, 0.97, 0.96, 0.95, 0.96],
+/// ])?;
+/// let f = Matrix::from_rows(&[&[0.98, 0.82, 0.91, 0.86, 0.96, 0.84]])?;
+/// let selector = SensorSelector::new(1.0, 1e-3)?;
+/// let result = selector.select(&x, &f)?;
+/// assert!(result.selected.contains(&0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SensorSelector {
+    lambda: f64,
+    threshold: f64,
+    options: GlOptions,
+}
+
+impl SensorSelector {
+    /// Creates a selector with budget `lambda` (the paper's λ) and
+    /// selection threshold `threshold` (the paper's T, `1e-3` in its
+    /// experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for non-positive λ or negative
+    /// T.
+    pub fn new(lambda: f64, threshold: f64) -> Result<Self, CoreError> {
+        Self::with_options(lambda, threshold, GlOptions::default())
+    }
+
+    /// As [`SensorSelector::new`] with custom solver options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for out-of-range parameters.
+    pub fn with_options(
+        lambda: f64,
+        threshold: f64,
+        options: GlOptions,
+    ) -> Result<Self, CoreError> {
+        if !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: format!("lambda must be finite and > 0, got {lambda}"),
+            });
+        }
+        if !(threshold >= 0.0) || !threshold.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: format!("threshold must be finite and >= 0, got {threshold}"),
+            });
+        }
+        Ok(SensorSelector {
+            lambda,
+            threshold,
+            options,
+        })
+    }
+
+    /// Budget λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Selection threshold T.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Runs Steps 3–5: normalize, solve the constrained GL, threshold the
+    /// group norms.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ShapeMismatch`] if `x` and `f` disagree on samples.
+    /// * [`CoreError::NoSensorsSelected`] if no group norm exceeds T.
+    /// * Propagates solver failures.
+    pub fn select(&self, x: &Matrix, f: &Matrix) -> Result<SelectionResult, CoreError> {
+        let prepared = SelectionProblem::new(x, f)?;
+        prepared.select_constrained(self.lambda, self.threshold, &self.options)
+    }
+}
+
+/// A prepared selection problem: the normalized covariance form of
+/// `(X, F)`, built once and reusable across many budgets.
+///
+/// The covariance reduction (`O(M²N + KMN)`) dominates a single selection,
+/// so sweeps over λ or sensor counts should go through this type rather
+/// than calling [`SensorSelector::select`] repeatedly.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_linalg::Matrix;
+/// use voltsense_core::SelectionProblem;
+/// use voltsense_grouplasso::GlOptions;
+///
+/// # fn main() -> Result<(), voltsense_core::CoreError> {
+/// let x = Matrix::from_rows(&[
+///     &[0.99, 0.84, 0.93, 0.88, 0.97, 0.86],
+///     &[0.96, 0.95, 0.97, 0.96, 0.95, 0.96],
+/// ])?;
+/// let f = Matrix::from_rows(&[&[0.98, 0.82, 0.91, 0.86, 0.96, 0.84]])?;
+/// let prepared = SelectionProblem::new(&x, &f)?;
+/// let one = prepared.select_with_count(1, 1e-3, &GlOptions::default())?;
+/// assert_eq!(one.num_selected(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SelectionProblem {
+    problem: GlProblem,
+    x_normalizer: Normalizer,
+    f_normalizer: Normalizer,
+}
+
+impl SelectionProblem {
+    /// Normalizes the data and reduces it to covariance form (Steps 3 and
+    /// the expensive half of Step 4).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ShapeMismatch`] if `x` and `f` disagree on samples.
+    /// * Propagates problem-construction failures (non-finite data, …).
+    pub fn new(x: &Matrix, f: &Matrix) -> Result<Self, CoreError> {
+        if x.cols() != f.cols() {
+            return Err(CoreError::ShapeMismatch {
+                what: format!(
+                    "X has {} samples, F has {} — they must match",
+                    x.cols(),
+                    f.cols()
+                ),
+            });
+        }
+        let x_normalizer = Normalizer::fit(x);
+        let f_normalizer = Normalizer::fit(f);
+        let z = x_normalizer.apply(x)?;
+        let g = f_normalizer.apply(f)?;
+        let problem = GlProblem::from_data(&z, &g)?;
+        Ok(SelectionProblem {
+            problem,
+            x_normalizer,
+            f_normalizer,
+        })
+    }
+
+    /// Number of candidates `M`.
+    pub fn num_candidates(&self) -> usize {
+        self.problem.num_candidates()
+    }
+
+    /// Selects sensors under a budget λ (Steps 4–5).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSensorsSelected`] if nothing passes the threshold;
+    /// propagates solver failures.
+    pub fn select_constrained(
+        &self,
+        lambda: f64,
+        threshold: f64,
+        options: &GlOptions,
+    ) -> Result<SelectionResult, CoreError> {
+        let solution = solve_constrained(&self.problem, lambda, options)?;
+        self.finish(
+            solution.solution.beta,
+            solution.mu,
+            solution.budget_used,
+            lambda,
+            threshold,
+        )
+    }
+
+    /// Selects (approximately) `q` sensors by bisecting the penalty μ —
+    /// the count `Q(μ)` is monotone non-increasing, so this needs one
+    /// warm-started bisection rather than nested budget searches.
+    ///
+    /// Returns the closest achievable count if the selection path jumps
+    /// over `q`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for `q` out of `1..=M`;
+    /// [`CoreError::NoSensorsSelected`] if even the loosest penalty
+    /// selects nothing; propagates solver failures.
+    pub fn select_with_count(
+        &self,
+        q: usize,
+        threshold: f64,
+        options: &GlOptions,
+    ) -> Result<SelectionResult, CoreError> {
+        if q == 0 || q > self.num_candidates() {
+            return Err(CoreError::InvalidConfig {
+                what: format!(
+                    "target sensor count {q} out of range (1..={})",
+                    self.num_candidates()
+                ),
+            });
+        }
+        let mu_max = self.problem.mu_max();
+        if mu_max == 0.0 {
+            return Err(CoreError::NoSensorsSelected {
+                lambda: 0.0,
+                threshold,
+            });
+        }
+        let mut lo = 0.0_f64; // count(lo) >= q by convention (never solved)
+        let mut hi = mu_max; // count(mu_max) = 0
+        let mut warm: Option<Matrix> = None;
+        let mut best: Option<voltsense_grouplasso::GlSolution> = None;
+        let count_of = |sol: &voltsense_grouplasso::GlSolution| sol.selected(threshold).len();
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            let sol = solve_penalized(&self.problem, mid, options, warm.as_ref())?;
+            let n = count_of(&sol);
+            warm = Some(sol.beta.clone());
+            let better = n > 0
+                && match &best {
+                    Some(b) => {
+                        let cur = count_of(b);
+                        (n as i64 - q as i64).abs() < (cur as i64 - q as i64).abs()
+                            || ((n as i64 - q as i64).abs() == (cur as i64 - q as i64).abs()
+                                && n <= q
+                                && cur > q)
+                    }
+                    None => true,
+                };
+            if better {
+                best = Some(sol.clone());
+            }
+            match n.cmp(&q) {
+                std::cmp::Ordering::Equal => break,
+                std::cmp::Ordering::Greater => lo = mid,
+                std::cmp::Ordering::Less => hi = mid,
+            }
+            if hi - lo <= 1e-9 * mu_max {
+                break;
+            }
+        }
+        let solution = best.ok_or(CoreError::NoSensorsSelected {
+            lambda: f64::INFINITY,
+            threshold,
+        })?;
+        let budget = solution.budget();
+        let mu = solution.mu;
+        self.finish(solution.beta, mu, budget, budget, threshold)
+    }
+
+    fn finish(
+        &self,
+        beta: Matrix,
+        mu: f64,
+        budget_used: f64,
+        lambda: f64,
+        threshold: f64,
+    ) -> Result<SelectionResult, CoreError> {
+        let group_norms: Vec<f64> = (0..beta.cols())
+            .map(|m| {
+                (0..beta.rows())
+                    .map(|k| beta[(k, m)] * beta[(k, m)])
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect();
+        let selected: Vec<usize> = group_norms
+            .iter()
+            .enumerate()
+            .filter(|&(_, n)| *n > threshold)
+            .map(|(m, _)| m)
+            .collect();
+        if selected.is_empty() {
+            return Err(CoreError::NoSensorsSelected { lambda, threshold });
+        }
+        Ok(SelectionResult {
+            selected,
+            group_norms,
+            beta,
+            mu,
+            budget_used,
+            x_normalizer: self.x_normalizer.clone(),
+            f_normalizer: self.f_normalizer.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 candidates / 2 targets: target 0 follows candidate 0, target 1
+    /// follows candidate 2; candidates 1, 3 are weakly-informative noise.
+    fn training() -> (Matrix, Matrix) {
+        let n = 40;
+        let mut x = Matrix::zeros(4, n);
+        let mut f = Matrix::zeros(2, n);
+        for s in 0..n {
+            let t = s as f64;
+            let sig0 = 0.93 + 0.05 * (t * 0.7).sin();
+            let sig1 = 0.94 + 0.04 * (t * 1.3).cos();
+            x[(0, s)] = sig0 + 0.001 * (t * 3.1).sin();
+            x[(1, s)] = 0.96 + 0.002 * (t * 2.3).sin();
+            x[(2, s)] = sig1 + 0.001 * (t * 4.7).cos();
+            x[(3, s)] = 0.95 + 0.002 * (t * 1.9).cos();
+            f[(0, s)] = sig0 - 0.02;
+            f[(1, s)] = sig1 - 0.02;
+        }
+        (x, f)
+    }
+
+    #[test]
+    fn selects_the_informative_candidates() {
+        let (x, f) = training();
+        let sel = SensorSelector::new(1.5, 1e-3).unwrap();
+        let result = sel.select(&x, &f).unwrap();
+        assert!(result.selected.contains(&0));
+        assert!(result.selected.contains(&2));
+    }
+
+    #[test]
+    fn group_norms_separate_selected_from_rest() {
+        let (x, f) = training();
+        let sel = SensorSelector::new(1.5, 1e-3).unwrap();
+        let result = sel.select(&x, &f).unwrap();
+        let min_selected = result
+            .selected
+            .iter()
+            .map(|&m| result.group_norms[m])
+            .fold(f64::INFINITY, f64::min);
+        for (m, &n) in result.group_norms.iter().enumerate() {
+            if !result.selected.contains(&m) {
+                assert!(n <= 1e-3);
+                assert!(min_selected > n);
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_lambda_selects_fewer() {
+        let (x, f) = training();
+        let small = SensorSelector::new(0.4, 1e-3)
+            .unwrap()
+            .select(&x, &f)
+            .unwrap();
+        let large = SensorSelector::new(3.0, 1e-3)
+            .unwrap()
+            .select(&x, &f)
+            .unwrap();
+        assert!(small.num_selected() <= large.num_selected());
+    }
+
+    #[test]
+    fn budget_respected() {
+        let (x, f) = training();
+        let sel = SensorSelector::new(1.0, 1e-3).unwrap();
+        let result = sel.select(&x, &f).unwrap();
+        assert!(result.budget_used <= 1.0 + 1e-6);
+        assert!(result.mu > 0.0);
+    }
+
+    #[test]
+    fn tiny_threshold_tolerated_huge_threshold_errors() {
+        let (x, f) = training();
+        let ok = SensorSelector::new(1.0, 0.0).unwrap().select(&x, &f);
+        assert!(ok.is_ok());
+        let none = SensorSelector::new(1.0, 1e9).unwrap().select(&x, &f);
+        assert!(matches!(none, Err(CoreError::NoSensorsSelected { .. })));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(SensorSelector::new(0.0, 1e-3).is_err());
+        assert!(SensorSelector::new(-1.0, 1e-3).is_err());
+        assert!(SensorSelector::new(1.0, -1e-3).is_err());
+        assert!(SensorSelector::new(f64::NAN, 1e-3).is_err());
+    }
+
+    #[test]
+    fn sample_mismatch_rejected() {
+        let (x, _) = training();
+        let f_bad = Matrix::zeros(2, 3);
+        let sel = SensorSelector::new(1.0, 1e-3).unwrap();
+        assert!(matches!(
+            sel.select(&x, &f_bad),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,298 @@
+use std::fmt;
+
+use crate::geometry::Rect;
+use crate::CoreId;
+
+/// Identifier of a function block, unique across the whole chip.
+///
+/// Blocks are numbered `core_index * 30 + kind_index`, so the id encodes
+/// both the core and the block kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Microarchitectural unit grouping, used for floorplan clustering and for
+/// the Fig. 3 placement-map colouring (the paper groups "functionally
+/// relative or similar" blocks into units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitGroup {
+    /// Fetch, decode, branch prediction, instruction supply.
+    Frontend,
+    /// Out-of-order engine and arithmetic units — the paper's "blue" hot
+    /// execution unit.
+    Execution,
+    /// Load/store pipeline and first-level data memory.
+    LoadStore,
+    /// Second-level cache and core uncore.
+    Memory,
+}
+
+impl UnitGroup {
+    /// All groups, in display order.
+    pub const ALL: [UnitGroup; 4] = [
+        UnitGroup::Frontend,
+        UnitGroup::Execution,
+        UnitGroup::LoadStore,
+        UnitGroup::Memory,
+    ];
+
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UnitGroup::Frontend => "frontend",
+            UnitGroup::Execution => "execution",
+            UnitGroup::LoadStore => "load-store",
+            UnitGroup::Memory => "memory",
+        }
+    }
+}
+
+impl fmt::Display for UnitGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+macro_rules! block_kinds {
+    ($( $variant:ident => ($name:literal, $group:ident, $density:literal, $gateable:literal) ),+ $(,)?) => {
+        /// The 30 function-block types of one core of the modelled
+        /// Xeon-E5-like processor.
+        ///
+        /// Each kind carries a nominal full-activity power density (W/mm²,
+        /// plausible for a 22 nm high-performance core) and whether the
+        /// block participates in power gating — gating events are the main
+        /// source of the large di/dt current swings the paper targets.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[non_exhaustive]
+        pub enum BlockKind {
+            $(
+                #[doc = $name]
+                $variant,
+            )+
+        }
+
+        impl BlockKind {
+            /// All 30 kinds in canonical (floorplan) order.
+            pub const ALL: [BlockKind; 30] = [ $( BlockKind::$variant, )+ ];
+
+            /// Human-readable block name.
+            pub fn name(&self) -> &'static str {
+                match self {
+                    $( BlockKind::$variant => $name, )+
+                }
+            }
+
+            /// Unit group this block belongs to.
+            pub fn unit_group(&self) -> UnitGroup {
+                match self {
+                    $( BlockKind::$variant => UnitGroup::$group, )+
+                }
+            }
+
+            /// Nominal power density at full activity, W/mm².
+            pub fn nominal_power_density(&self) -> f64 {
+                match self {
+                    $( BlockKind::$variant => $density, )+
+                }
+            }
+
+            /// `true` if the block can be power gated (source of large
+            /// di/dt steps).
+            pub fn is_gateable(&self) -> bool {
+                match self {
+                    $( BlockKind::$variant => $gateable, )+
+                }
+            }
+        }
+    };
+}
+
+block_kinds! {
+    // Frontend (7)
+    BranchPredictor   => ("branch predictor",    Frontend,  0.55, false),
+    InstructionCache  => ("L1 instruction cache", Frontend, 0.35, false),
+    InstructionTlb    => ("instruction TLB",      Frontend, 0.40, false),
+    FetchUnit         => ("fetch unit",           Frontend, 0.60, false),
+    Decoder           => ("decoder",              Frontend, 0.75, true),
+    MicroOpCache      => ("micro-op cache",       Frontend, 0.45, true),
+    MicrocodeRom      => ("microcode ROM",        Frontend, 0.20, true),
+    // Out-of-order engine and execution (16)
+    RenameUnit        => ("rename unit",          Execution, 0.85, false),
+    ReorderBuffer     => ("reorder buffer",       Execution, 0.80, false),
+    IntIssueQueue     => ("integer issue queue",  Execution, 0.95, false),
+    FpIssueQueue      => ("FP issue queue",       Execution, 0.90, true),
+    IntRegisterFile   => ("integer register file", Execution, 1.05, false),
+    FpRegisterFile    => ("FP register file",     Execution, 0.95, true),
+    Alu0              => ("ALU 0",                Execution, 1.30, false),
+    Alu1              => ("ALU 1",                Execution, 1.30, true),
+    Alu2              => ("ALU 2",                Execution, 1.30, true),
+    BranchUnit        => ("branch unit",          Execution, 0.90, false),
+    IntMultiplier     => ("integer multiplier",   Execution, 1.20, true),
+    IntDivider        => ("integer divider",      Execution, 1.00, true),
+    FpAdder           => ("FP adder",             Execution, 1.25, true),
+    FpMultiplier      => ("FP multiplier",        Execution, 1.35, true),
+    FpDivider         => ("FP divider",           Execution, 1.10, true),
+    VectorUnit        => ("vector unit",          Execution, 1.40, true),
+    // Load/store (6)
+    LoadQueue         => ("load queue",           LoadStore, 0.70, false),
+    StoreQueue        => ("store queue",          LoadStore, 0.70, false),
+    AddressGen0       => ("address generation 0", LoadStore, 0.95, false),
+    AddressGen1       => ("address generation 1", LoadStore, 0.95, true),
+    DataCache         => ("L1 data cache",        LoadStore, 0.45, false),
+    DataTlb           => ("data TLB",             LoadStore, 0.50, false),
+    // Memory (1)
+    L2Cache           => ("L2 cache slice",       Memory,    0.18, true),
+}
+
+impl BlockKind {
+    /// Canonical index of this kind within [`BlockKind::ALL`].
+    pub fn index(&self) -> usize {
+        BlockKind::ALL
+            .iter()
+            .position(|k| k == self)
+            .expect("every kind is in ALL")
+    }
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A placed function block: a block kind instantiated in a core at a
+/// concrete die location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionBlock {
+    id: BlockId,
+    kind: BlockKind,
+    core: CoreId,
+    rect: Rect,
+}
+
+impl FunctionBlock {
+    /// Creates a placed block. Used by [`crate::ChipFloorplan`]; exposed so
+    /// tests and alternative floorplans can construct blocks directly.
+    pub fn new(id: BlockId, kind: BlockKind, core: CoreId, rect: Rect) -> Self {
+        FunctionBlock { id, kind, core, rect }
+    }
+
+    /// Chip-unique block id.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// Microarchitectural kind.
+    pub fn kind(&self) -> BlockKind {
+        self.kind
+    }
+
+    /// Owning core.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Die-coordinates rectangle (µm).
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// Block area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.rect.area() / 1.0e6
+    }
+
+    /// Nominal full-activity power in watts (density × area).
+    pub fn nominal_power(&self) -> f64 {
+        self.kind.nominal_power_density() * self.area_mm2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    #[test]
+    fn exactly_thirty_kinds() {
+        assert_eq!(BlockKind::ALL.len(), 30);
+    }
+
+    #[test]
+    fn kinds_are_unique() {
+        for (i, a) in BlockKind::ALL.iter().enumerate() {
+            for b in &BlockKind::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, k) in BlockKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn every_group_is_populated() {
+        for g in UnitGroup::ALL {
+            assert!(
+                BlockKind::ALL.iter().any(|k| k.unit_group() == g),
+                "group {g} has no blocks"
+            );
+        }
+    }
+
+    #[test]
+    fn execution_units_are_hottest() {
+        // The Fig. 3 narrative depends on the execution unit being the
+        // worst-noise cluster, which requires the highest power densities.
+        let max_exec = BlockKind::ALL
+            .iter()
+            .filter(|k| k.unit_group() == UnitGroup::Execution)
+            .map(|k| k.nominal_power_density())
+            .fold(0.0_f64, f64::max);
+        let max_other = BlockKind::ALL
+            .iter()
+            .filter(|k| k.unit_group() != UnitGroup::Execution)
+            .map(|k| k.nominal_power_density())
+            .fold(0.0_f64, f64::max);
+        assert!(max_exec > max_other);
+    }
+
+    #[test]
+    fn some_blocks_are_gateable() {
+        let gateable = BlockKind::ALL.iter().filter(|k| k.is_gateable()).count();
+        assert!(gateable >= 10, "need plenty of gateable blocks for di/dt events");
+        assert!(gateable < 30, "not everything should gate");
+    }
+
+    #[test]
+    fn densities_positive_and_plausible() {
+        for k in BlockKind::ALL {
+            let d = k.nominal_power_density();
+            assert!(d > 0.0 && d < 5.0, "{k}: implausible density {d}");
+        }
+    }
+
+    #[test]
+    fn function_block_power() {
+        let rect = Rect::from_origin_size(Point::new(0.0, 0.0), 1000.0, 1000.0); // 1 mm²
+        let b = FunctionBlock::new(BlockId(0), BlockKind::Alu0, CoreId(0), rect);
+        assert!((b.area_mm2() - 1.0).abs() < 1e-12);
+        assert!((b.nominal_power() - 1.30).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(BlockId(3).to_string(), "B3");
+        assert_eq!(BlockKind::Alu0.to_string(), "ALU 0");
+        assert_eq!(UnitGroup::Execution.to_string(), "execution");
+    }
+}

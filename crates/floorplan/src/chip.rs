@@ -1,0 +1,371 @@
+use std::fmt;
+
+use crate::block::{BlockId, FunctionBlock};
+use crate::core_plan::CorePlan;
+use crate::geometry::{Point, Rect};
+use crate::sites::NodeLattice;
+use crate::FloorplanError;
+
+/// Identifier of a core on the chip (row-major over the core grid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// A placed core: id plus its tile rectangle on the die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreInstance {
+    /// Core id.
+    pub id: CoreId,
+    /// Tile rectangle in die coordinates (µm).
+    pub rect: Rect,
+}
+
+/// Parameters of the chip floorplan.
+///
+/// All lengths are micrometres. Use [`ChipConfig::xeon_e5_like`] for the
+/// paper-scale 8-core chip or [`ChipConfig::small_test`] for fast tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipConfig {
+    /// Cores per row.
+    pub cores_x: usize,
+    /// Cores per column.
+    pub cores_y: usize,
+    /// Core tile width (µm).
+    pub core_width: f64,
+    /// Core tile height (µm).
+    pub core_height: f64,
+    /// Fraction of each block cell devoted to blank-area channels.
+    pub channel_fraction: f64,
+    /// Spacing between adjacent core tiles (µm) — blank area.
+    pub core_spacing: f64,
+    /// Blank-area margin around the core array (µm).
+    pub periphery: f64,
+    /// Power-grid node pitch (µm).
+    pub grid_pitch: f64,
+}
+
+impl ChipConfig {
+    /// The paper-scale configuration: 8 cores (4x2), 30 blocks each,
+    /// ~14 x 6.2 mm die, 200 µm grid pitch.
+    pub fn xeon_e5_like() -> Self {
+        ChipConfig {
+            cores_x: 4,
+            cores_y: 2,
+            core_width: 3000.0,
+            core_height: 2500.0,
+            channel_fraction: 0.18,
+            core_spacing: 400.0,
+            periphery: 400.0,
+            grid_pitch: 200.0,
+        }
+    }
+
+    /// A two-core configuration small enough for unit tests
+    /// (coarser pitch, smaller tiles).
+    pub fn small_test() -> Self {
+        ChipConfig {
+            cores_x: 2,
+            cores_y: 1,
+            core_width: 1500.0,
+            core_height: 1250.0,
+            channel_fraction: 0.20,
+            core_spacing: 250.0,
+            periphery: 250.0,
+            grid_pitch: 125.0,
+        }
+    }
+
+    /// Total die width implied by this configuration.
+    pub fn die_width(&self) -> f64 {
+        2.0 * self.periphery
+            + self.cores_x as f64 * self.core_width
+            + (self.cores_x.saturating_sub(1)) as f64 * self.core_spacing
+    }
+
+    /// Total die height implied by this configuration.
+    pub fn die_height(&self) -> f64 {
+        2.0 * self.periphery
+            + self.cores_y as f64 * self.core_height
+            + (self.cores_y.saturating_sub(1)) as f64 * self.core_spacing
+    }
+
+    fn validate(&self) -> Result<(), FloorplanError> {
+        if self.cores_x == 0 || self.cores_y == 0 {
+            return Err(FloorplanError::InvalidConfig {
+                what: "core grid must be at least 1x1".into(),
+            });
+        }
+        for (name, v) in [
+            ("core_width", self.core_width),
+            ("core_height", self.core_height),
+            ("core_spacing", self.core_spacing),
+            ("periphery", self.periphery),
+            ("grid_pitch", self.grid_pitch),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(FloorplanError::InvalidConfig {
+                    what: format!("{name} must be finite and non-negative, got {v}"),
+                });
+            }
+        }
+        if self.grid_pitch <= 0.0 {
+            return Err(FloorplanError::InvalidConfig {
+                what: "grid_pitch must be positive".into(),
+            });
+        }
+        // Every block must contain at least one lattice node so each block
+        // has a noise-critical node; the block's smallest dimension must
+        // exceed one pitch.
+        let cell_w = self.core_width / crate::core_plan::GRID_COLS as f64;
+        let cell_h = self.core_height / crate::core_plan::GRID_ROWS as f64;
+        let block_min =
+            (cell_w.min(cell_h)) * (1.0 - self.channel_fraction.max(0.0));
+        if block_min <= self.grid_pitch {
+            return Err(FloorplanError::InvalidConfig {
+                what: format!(
+                    "grid_pitch {} too coarse: smallest block dimension is {block_min:.1} µm",
+                    self.grid_pitch
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The full-chip floorplan: placed cores, placed function blocks, and the
+/// overlaid power-grid node lattice with FA/BA classification.
+///
+/// See the [crate-level docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct ChipFloorplan {
+    config: ChipConfig,
+    cores: Vec<CoreInstance>,
+    blocks: Vec<FunctionBlock>,
+    lattice: NodeLattice,
+}
+
+impl ChipFloorplan {
+    /// Builds the floorplan from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidConfig`] if the configuration is
+    /// inconsistent (zero cores, non-positive sizes, or a grid pitch too
+    /// coarse to give every block a lattice node).
+    pub fn new(config: &ChipConfig) -> Result<Self, FloorplanError> {
+        config.validate()?;
+        let plan = CorePlan::new(
+            config.core_width,
+            config.core_height,
+            config.channel_fraction,
+        )?;
+
+        let mut cores = Vec::with_capacity(config.cores_x * config.cores_y);
+        let mut blocks = Vec::with_capacity(cores.capacity() * 30);
+        for cy in 0..config.cores_y {
+            for cx in 0..config.cores_x {
+                let core_index = cy * config.cores_x + cx;
+                let origin = Point::new(
+                    config.periphery + cx as f64 * (config.core_width + config.core_spacing),
+                    config.periphery + cy as f64 * (config.core_height + config.core_spacing),
+                );
+                let rect = Rect::from_origin_size(origin, config.core_width, config.core_height);
+                let id = CoreId(core_index);
+                cores.push(CoreInstance { id, rect });
+                for (kind_index, (kind, local)) in plan.block_rects().iter().enumerate() {
+                    blocks.push(FunctionBlock::new(
+                        BlockId(core_index * 30 + kind_index),
+                        *kind,
+                        id,
+                        local.translated(origin.x, origin.y),
+                    ));
+                }
+            }
+        }
+
+        let lattice = NodeLattice::build(
+            config.die_width(),
+            config.die_height(),
+            config.grid_pitch,
+            &blocks,
+        )?;
+
+        Ok(ChipFloorplan {
+            config: config.clone(),
+            cores,
+            blocks,
+            lattice,
+        })
+    }
+
+    /// The configuration this floorplan was built from.
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// Placed cores, in id order.
+    pub fn cores(&self) -> &[CoreInstance] {
+        &self.cores
+    }
+
+    /// Placed function blocks, in [`BlockId`] order
+    /// (core-major, then layout order).
+    pub fn blocks(&self) -> &[FunctionBlock] {
+        &self.blocks
+    }
+
+    /// Looks up a block by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::UnknownId`] if out of range.
+    pub fn block(&self, id: BlockId) -> Result<&FunctionBlock, FloorplanError> {
+        self.blocks.get(id.0).ok_or(FloorplanError::UnknownId {
+            kind: "block",
+            index: id.0,
+        })
+    }
+
+    /// Looks up a core by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::UnknownId`] if out of range.
+    pub fn core(&self, id: CoreId) -> Result<&CoreInstance, FloorplanError> {
+        self.cores.get(id.0).ok_or(FloorplanError::UnknownId {
+            kind: "core",
+            index: id.0,
+        })
+    }
+
+    /// Blocks belonging to one core, in layout order.
+    pub fn blocks_of_core(&self, id: CoreId) -> impl Iterator<Item = &FunctionBlock> {
+        self.blocks.iter().filter(move |b| b.core() == id)
+    }
+
+    /// The power-grid node lattice with FA/BA classification.
+    pub fn lattice(&self) -> &NodeLattice {
+        &self.lattice
+    }
+
+    /// Die width (µm).
+    pub fn die_width(&self) -> f64 {
+        self.config.die_width()
+    }
+
+    /// Die height (µm).
+    pub fn die_height(&self) -> f64 {
+        self.config.die_height()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::NodeSite;
+
+    #[test]
+    fn paper_scale_chip_has_8_cores_240_blocks() {
+        let chip = ChipFloorplan::new(&ChipConfig::xeon_e5_like()).unwrap();
+        assert_eq!(chip.cores().len(), 8);
+        assert_eq!(chip.blocks().len(), 240);
+    }
+
+    #[test]
+    fn block_ids_are_core_major() {
+        let chip = ChipFloorplan::new(&ChipConfig::small_test()).unwrap();
+        for (i, b) in chip.blocks().iter().enumerate() {
+            assert_eq!(b.id().0, i);
+            assert_eq!(b.core().0, i / 30);
+        }
+    }
+
+    #[test]
+    fn blocks_inside_their_core() {
+        let chip = ChipFloorplan::new(&ChipConfig::small_test()).unwrap();
+        for b in chip.blocks() {
+            let core = chip.core(b.core()).unwrap();
+            assert!(core.rect.contains(Point::new(b.rect().x0, b.rect().y0)));
+            assert!(core.rect.contains(Point::new(b.rect().x1, b.rect().y1)));
+        }
+    }
+
+    #[test]
+    fn cores_do_not_overlap() {
+        let chip = ChipFloorplan::new(&ChipConfig::xeon_e5_like()).unwrap();
+        let cores = chip.cores();
+        for (i, a) in cores.iter().enumerate() {
+            for b in &cores[i + 1..] {
+                assert!(!a.rect.overlaps(&b.rect));
+            }
+        }
+    }
+
+    #[test]
+    fn every_block_has_a_lattice_node() {
+        let chip = ChipFloorplan::new(&ChipConfig::small_test()).unwrap();
+        for b in chip.blocks() {
+            assert!(
+                !chip.lattice().nodes_in_block(b.id()).is_empty(),
+                "block {} has no lattice node",
+                b.id()
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_are_all_blank_area() {
+        let chip = ChipFloorplan::new(&ChipConfig::small_test()).unwrap();
+        let lattice = chip.lattice();
+        for &nid in lattice.candidate_sites() {
+            assert_eq!(lattice.site(nid), NodeSite::BlankArea);
+        }
+    }
+
+    #[test]
+    fn lookups_fail_gracefully() {
+        let chip = ChipFloorplan::new(&ChipConfig::small_test()).unwrap();
+        assert!(chip.block(BlockId(10_000)).is_err());
+        assert!(chip.core(CoreId(99)).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = ChipConfig::small_test();
+        cfg.cores_x = 0;
+        assert!(ChipFloorplan::new(&cfg).is_err());
+
+        let mut cfg = ChipConfig::small_test();
+        cfg.grid_pitch = 0.0;
+        assert!(ChipFloorplan::new(&cfg).is_err());
+
+        // Pitch coarser than a block: some block would get no node.
+        let mut cfg = ChipConfig::small_test();
+        cfg.grid_pitch = 500.0;
+        assert!(ChipFloorplan::new(&cfg).is_err());
+
+        let mut cfg = ChipConfig::small_test();
+        cfg.core_width = f64::NAN;
+        assert!(ChipFloorplan::new(&cfg).is_err());
+    }
+
+    #[test]
+    fn die_size_formula() {
+        let cfg = ChipConfig::xeon_e5_like();
+        // 2*400 + 4*3000 + 3*400 = 800 + 12000 + 1200 = 14000
+        assert!((cfg.die_width() - 14_000.0).abs() < 1e-9);
+        // 2*400 + 2*2500 + 1*400 = 800 + 5000 + 400 = 6200
+        assert!((cfg.die_height() - 6_200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocks_of_core_returns_thirty() {
+        let chip = ChipFloorplan::new(&ChipConfig::small_test()).unwrap();
+        assert_eq!(chip.blocks_of_core(CoreId(1)).count(), 30);
+    }
+}

@@ -1,0 +1,249 @@
+use crate::block::BlockKind;
+use crate::geometry::{Point, Rect};
+use crate::FloorplanError;
+
+/// Number of block columns in the core cell grid.
+pub(crate) const GRID_COLS: usize = 6;
+/// Number of block rows in the core cell grid.
+pub(crate) const GRID_ROWS: usize = 5;
+
+/// Fixed assignment of the 30 block kinds to the 6x5 cell grid of one core,
+/// bottom row first. The out-of-order/execution engine occupies the middle
+/// rows, so the hot execution cluster of the paper's Fig. 3 sits in the
+/// core's centre; the frontend is at the bottom edge and the load-store /
+/// L2 blocks at the top.
+const LAYOUT: [[BlockKind; GRID_COLS]; GRID_ROWS] = [
+    [
+        BlockKind::MicrocodeRom,
+        BlockKind::Decoder,
+        BlockKind::FetchUnit,
+        BlockKind::BranchPredictor,
+        BlockKind::InstructionTlb,
+        BlockKind::InstructionCache,
+    ],
+    [
+        BlockKind::FpDivider,
+        BlockKind::FpIssueQueue,
+        BlockKind::FpRegisterFile,
+        BlockKind::RenameUnit,
+        BlockKind::ReorderBuffer,
+        BlockKind::MicroOpCache,
+    ],
+    [
+        BlockKind::IntIssueQueue,
+        BlockKind::IntMultiplier,
+        BlockKind::IntDivider,
+        BlockKind::VectorUnit,
+        BlockKind::FpAdder,
+        BlockKind::FpMultiplier,
+    ],
+    [
+        BlockKind::AddressGen1,
+        BlockKind::IntRegisterFile,
+        BlockKind::Alu0,
+        BlockKind::Alu1,
+        BlockKind::Alu2,
+        BlockKind::BranchUnit,
+    ],
+    [
+        BlockKind::L2Cache,
+        BlockKind::DataCache,
+        BlockKind::DataTlb,
+        BlockKind::LoadQueue,
+        BlockKind::StoreQueue,
+        BlockKind::AddressGen0,
+    ],
+];
+
+/// The intra-core floorplan: positions of the 30 function blocks inside a
+/// single core tile, in tile-local coordinates with the origin at the
+/// tile's bottom-left corner.
+///
+/// Blocks are laid out on a 6x5 cell grid; each block occupies the centre
+/// of its cell, leaving blank-area routing channels between blocks where
+/// sensor candidates live.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_floorplan::CorePlan;
+///
+/// # fn main() -> Result<(), voltsense_floorplan::FloorplanError> {
+/// let plan = CorePlan::new(3000.0, 2500.0, 0.18)?;
+/// assert_eq!(plan.block_rects().len(), 30);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorePlan {
+    width: f64,
+    height: f64,
+    channel_fraction: f64,
+    rects: Vec<(BlockKind, Rect)>,
+}
+
+impl CorePlan {
+    /// Builds the intra-core plan for a tile of `width x height` µm.
+    ///
+    /// `channel_fraction` is the fraction of each cell's linear dimension
+    /// devoted to blank-area channels (split evenly on both sides of the
+    /// block), and must lie in `(0, 0.8)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidConfig`] for non-positive
+    /// dimensions or an out-of-range channel fraction.
+    pub fn new(width: f64, height: f64, channel_fraction: f64) -> Result<Self, FloorplanError> {
+        if !(width > 0.0) || !(height > 0.0) {
+            return Err(FloorplanError::InvalidConfig {
+                what: format!("core tile must have positive size, got {width}x{height}"),
+            });
+        }
+        if !(channel_fraction > 0.0 && channel_fraction < 0.8) {
+            return Err(FloorplanError::InvalidConfig {
+                what: format!("channel fraction must be in (0, 0.8), got {channel_fraction}"),
+            });
+        }
+        let cell_w = width / GRID_COLS as f64;
+        let cell_h = height / GRID_ROWS as f64;
+        let margin_x = cell_w * channel_fraction / 2.0;
+        let margin_y = cell_h * channel_fraction / 2.0;
+        let mut rects = Vec::with_capacity(30);
+        for (row, kinds) in LAYOUT.iter().enumerate() {
+            for (col, &kind) in kinds.iter().enumerate() {
+                let cell = Rect::from_origin_size(
+                    Point::new(col as f64 * cell_w, row as f64 * cell_h),
+                    cell_w,
+                    cell_h,
+                );
+                let block = Rect::new(
+                    cell.x0 + margin_x,
+                    cell.y0 + margin_y,
+                    cell.x1 - margin_x,
+                    cell.y1 - margin_y,
+                );
+                rects.push((kind, block));
+            }
+        }
+        Ok(CorePlan {
+            width,
+            height,
+            channel_fraction,
+            rects,
+        })
+    }
+
+    /// Core tile width (µm).
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Core tile height (µm).
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// The 30 `(kind, tile-local rect)` pairs in canonical layout order.
+    pub fn block_rects(&self) -> &[(BlockKind, Rect)] {
+        &self.rects
+    }
+
+    /// Fraction of the tile covered by function blocks.
+    pub fn fa_utilization(&self) -> f64 {
+        let fa: f64 = self.rects.iter().map(|(_, r)| r.area()).sum();
+        fa / (self.width * self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn plan() -> CorePlan {
+        CorePlan::new(3000.0, 2500.0, 0.18).unwrap()
+    }
+
+    #[test]
+    fn layout_uses_each_kind_once() {
+        let kinds: HashSet<BlockKind> = LAYOUT.iter().flatten().copied().collect();
+        assert_eq!(kinds.len(), 30);
+    }
+
+    #[test]
+    fn thirty_blocks_no_overlap() {
+        let p = plan();
+        let rects = p.block_rects();
+        assert_eq!(rects.len(), 30);
+        for (i, (_, a)) in rects.iter().enumerate() {
+            for (_, b) in &rects[i + 1..] {
+                assert!(!a.overlaps(b), "blocks overlap: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_inside_tile() {
+        let p = plan();
+        let tile = Rect::new(0.0, 0.0, 3000.0, 2500.0);
+        for (_, r) in p.block_rects() {
+            assert!(tile.contains(Point::new(r.x0, r.y0)));
+            assert!(tile.contains(Point::new(r.x1, r.y1)));
+        }
+    }
+
+    #[test]
+    fn utilization_matches_channel_fraction() {
+        let p = plan();
+        // Each block covers (1 − cf)² of its cell.
+        let expected = (1.0 - 0.18_f64).powi(2);
+        assert!((p.fa_utilization() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channels_exist_between_blocks() {
+        let p = plan();
+        // The point exactly between two adjacent cells is blank area.
+        let cell_w = 3000.0 / 6.0;
+        let boundary = Point::new(cell_w, 1250.0);
+        assert!(
+            !p.block_rects().iter().any(|(_, r)| r.contains(boundary)),
+            "cell boundary should be blank area"
+        );
+    }
+
+    #[test]
+    fn execution_cluster_is_central() {
+        use crate::UnitGroup;
+        let p = plan();
+        let tile_cy = 1250.0;
+        let mean_exec_dy: f64 = {
+            let ys: Vec<f64> = p
+                .block_rects()
+                .iter()
+                .filter(|(k, _)| k.unit_group() == UnitGroup::Execution)
+                .map(|(_, r)| (r.center().y - tile_cy).abs())
+                .collect();
+            ys.iter().sum::<f64>() / ys.len() as f64
+        };
+        let mean_frontend_dy: f64 = {
+            let ys: Vec<f64> = p
+                .block_rects()
+                .iter()
+                .filter(|(k, _)| k.unit_group() == UnitGroup::Frontend)
+                .map(|(_, r)| (r.center().y - tile_cy).abs())
+                .collect();
+            ys.iter().sum::<f64>() / ys.len() as f64
+        };
+        assert!(mean_exec_dy < mean_frontend_dy);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(CorePlan::new(0.0, 100.0, 0.2).is_err());
+        assert!(CorePlan::new(100.0, -1.0, 0.2).is_err());
+        assert!(CorePlan::new(100.0, 100.0, 0.0).is_err());
+        assert!(CorePlan::new(100.0, 100.0, 0.9).is_err());
+        assert!(CorePlan::new(100.0, 100.0, f64::NAN).is_err());
+    }
+}

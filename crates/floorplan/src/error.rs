@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for floorplan construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FloorplanError {
+    /// A configuration parameter was out of range.
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        what: String,
+    },
+    /// A lookup referenced a block or core that does not exist.
+    UnknownId {
+        /// What kind of identifier failed to resolve (e.g. `"block"`).
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::InvalidConfig { what } => {
+                write!(f, "invalid floorplan configuration: {what}")
+            }
+            FloorplanError::UnknownId { kind, index } => {
+                write!(f, "unknown {kind} id {index}")
+            }
+        }
+    }
+}
+
+impl Error for FloorplanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameter() {
+        let err = FloorplanError::InvalidConfig {
+            what: "grid pitch must be positive".into(),
+        };
+        assert!(err.to_string().contains("grid pitch"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FloorplanError>();
+    }
+}

@@ -1,0 +1,201 @@
+use std::fmt;
+
+/// A point on the die, in micrometres from the bottom-left corner.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate (µm).
+    pub x: f64,
+    /// Vertical coordinate (µm).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance_to(&self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle on the die, in micrometres.
+///
+/// The rectangle is half-open on neither side for containment purposes:
+/// [`Rect::contains`] treats all four edges as inside, which is the right
+/// convention for classifying lattice nodes that may fall exactly on a
+/// block boundary (a node on the edge of a block sees that block's
+/// current).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Left edge (µm).
+    pub x0: f64,
+    /// Bottom edge (µm).
+    pub y0: f64,
+    /// Right edge (µm).
+    pub x1: f64,
+    /// Top edge (µm).
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corners. Coordinates are normalized so
+    /// that `x0 <= x1` and `y0 <= y1`.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Creates a rectangle from its bottom-left corner and size.
+    pub fn from_origin_size(origin: Point, width: f64, height: f64) -> Self {
+        Rect::new(origin.x, origin.y, origin.x + width, origin.y + height)
+    }
+
+    /// Width (µm).
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height (µm).
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area (µm²).
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// `true` if `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x0 && p.x <= self.x1 && p.y >= self.y0 && p.y <= self.y1
+    }
+
+    /// `true` if the two rectangles overlap with positive area (touching
+    /// edges do not count as overlap).
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// Returns this rectangle shrunk by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the margin would invert the rectangle.
+    pub fn shrunk(&self, margin: f64) -> Rect {
+        assert!(
+            2.0 * margin <= self.width() && 2.0 * margin <= self.height(),
+            "margin {margin} too large for rect {self:?}"
+        );
+        Rect {
+            x0: self.x0 + margin,
+            y0: self.y0 + margin,
+            x1: self.x1 - margin,
+            y1: self.y1 - margin,
+        }
+    }
+
+    /// Returns this rectangle translated by `(dx, dy)`.
+    pub fn translated(&self, dx: f64, dy: f64) -> Rect {
+        Rect {
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.1},{:.1}]x[{:.1},{:.1}]",
+            self.x0, self.x1, self.y0, self.y1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_normalizes_corners() {
+        let r = Rect::new(5.0, 6.0, 1.0, 2.0);
+        assert_eq!(r.x0, 1.0);
+        assert_eq!(r.y1, 6.0);
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 4.0);
+    }
+
+    #[test]
+    fn contains_edges() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(2.0, 2.0)));
+        assert!(r.contains(Point::new(1.0, 1.0)));
+        assert!(!r.contains(Point::new(2.1, 1.0)));
+    }
+
+    #[test]
+    fn overlap_excludes_touching() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(1.0, 0.0, 2.0, 1.0);
+        assert!(!a.overlaps(&b));
+        let c = Rect::new(0.5, 0.5, 1.5, 1.5);
+        assert!(a.overlaps(&c));
+    }
+
+    #[test]
+    fn area_and_center() {
+        let r = Rect::new(1.0, 2.0, 3.0, 6.0);
+        assert_eq!(r.area(), 8.0);
+        assert_eq!(r.center(), Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn shrunk_and_translated() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let s = r.shrunk(1.0);
+        assert_eq!(s, Rect::new(1.0, 1.0, 9.0, 9.0));
+        let t = r.translated(5.0, -2.0);
+        assert_eq!(t, Rect::new(5.0, -2.0, 15.0, 8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn shrunk_too_much_panics() {
+        Rect::new(0.0, 0.0, 1.0, 1.0).shrunk(0.6);
+    }
+
+    #[test]
+    fn point_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance_to(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1.0, 2.0).to_string(), "(1.0, 2.0)");
+        assert!(!Rect::new(0.0, 0.0, 1.0, 1.0).to_string().is_empty());
+    }
+}

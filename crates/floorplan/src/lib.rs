@@ -1,0 +1,48 @@
+//! Chip, core and function-block geometry for the voltsense workspace.
+//!
+//! The DAC'15 experiments use a 22 nm, 8-core Xeon-E5-like processor with
+//! 30 function blocks per core. This crate models that floorplan
+//! parametrically:
+//!
+//! * [`BlockKind`] — the 30 microarchitectural block types with their unit
+//!   grouping (frontend / execution / load-store / memory / uncore) and
+//!   nominal power densities.
+//! * [`CorePlan`] — the arrangement of the 30 blocks inside one core tile,
+//!   separated by blank-area routing channels.
+//! * [`ChipFloorplan`] — a grid of cores plus periphery; the union of block
+//!   rectangles is the **function area (FA)**, everything else is the
+//!   **blank area (BA)** where sensors may be placed.
+//! * [`NodeLattice`] — the power-grid node lattice laid over the chip, with
+//!   every node classified as FA (inside a block) or BA (sensor candidate).
+//!
+//! # Example
+//!
+//! ```
+//! use voltsense_floorplan::{ChipFloorplan, ChipConfig};
+//!
+//! # fn main() -> Result<(), voltsense_floorplan::FloorplanError> {
+//! let chip = ChipFloorplan::new(&ChipConfig::small_test())?;
+//! assert_eq!(chip.cores().len(), 2);
+//! assert_eq!(chip.blocks().len(), 2 * 30);
+//! let lattice = chip.lattice();
+//! assert!(!lattice.candidate_sites().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod chip;
+mod core_plan;
+mod error;
+mod geometry;
+mod sites;
+
+pub use block::{BlockId, BlockKind, FunctionBlock, UnitGroup};
+pub use chip::{ChipConfig, ChipFloorplan, CoreId, CoreInstance};
+pub use core_plan::CorePlan;
+pub use error::FloorplanError;
+pub use geometry::{Point, Rect};
+pub use sites::{NodeId, NodeLattice, NodeSite};

@@ -1,0 +1,320 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::block::{BlockId, FunctionBlock};
+use crate::geometry::Point;
+use crate::FloorplanError;
+
+/// Identifier of a power-grid lattice node (row-major: `iy * nx + ix`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Classification of a lattice node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeSite {
+    /// The node lies inside (or on the edge of) the given function block:
+    /// it draws that block's current and is a potential noise-critical
+    /// node. Sensors cannot be placed here.
+    FunctionArea(BlockId),
+    /// The node lies in blank area: a sensor candidate location.
+    BlankArea,
+}
+
+/// The power-grid node lattice overlaid on the chip, with every node
+/// classified as function area or blank area.
+///
+/// Node `(ix, iy)` sits at `(ix * pitch, iy * pitch)` in die coordinates.
+/// Nodes inside a block rectangle belong to that block (ties broken by the
+/// earlier block id; blocks never overlap so ties only occur on shared
+/// channel boundaries, which do not exist in this layout).
+#[derive(Debug, Clone)]
+pub struct NodeLattice {
+    nx: usize,
+    ny: usize,
+    pitch: f64,
+    sites: Vec<NodeSite>,
+    candidates: Vec<NodeId>,
+    block_nodes: HashMap<BlockId, Vec<NodeId>>,
+}
+
+impl NodeLattice {
+    /// Builds the lattice for a `width x height` die at the given pitch and
+    /// classifies every node against the placed blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidConfig`] if the pitch is
+    /// non-positive/non-finite, the die is degenerate, or some block ends
+    /// up with no lattice node (pitch too coarse).
+    pub fn build(
+        width: f64,
+        height: f64,
+        pitch: f64,
+        blocks: &[FunctionBlock],
+    ) -> Result<Self, FloorplanError> {
+        if !(pitch > 0.0) || !pitch.is_finite() {
+            return Err(FloorplanError::InvalidConfig {
+                what: format!("lattice pitch must be positive, got {pitch}"),
+            });
+        }
+        if !(width > 0.0 && height > 0.0) {
+            return Err(FloorplanError::InvalidConfig {
+                what: format!("die must have positive size, got {width}x{height}"),
+            });
+        }
+        let nx = (width / pitch).floor() as usize + 1;
+        let ny = (height / pitch).floor() as usize + 1;
+        let mut sites = vec![NodeSite::BlankArea; nx * ny];
+        let mut candidates = Vec::new();
+        let mut block_nodes: HashMap<BlockId, Vec<NodeId>> = HashMap::new();
+
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let id = NodeId(iy * nx + ix);
+                let p = Point::new(ix as f64 * pitch, iy as f64 * pitch);
+                // Blocks don't overlap, so at most one can contain p
+                // strictly; boundary points take the first match.
+                let owner = blocks.iter().find(|b| b.rect().contains(p));
+                match owner {
+                    Some(b) => {
+                        sites[id.0] = NodeSite::FunctionArea(b.id());
+                        block_nodes.entry(b.id()).or_default().push(id);
+                    }
+                    None => {
+                        candidates.push(id);
+                    }
+                }
+            }
+        }
+
+        for b in blocks {
+            if !block_nodes.contains_key(&b.id()) {
+                return Err(FloorplanError::InvalidConfig {
+                    what: format!(
+                        "block {} ({}) contains no lattice node; reduce grid_pitch",
+                        b.id(),
+                        b.kind()
+                    ),
+                });
+            }
+        }
+
+        Ok(NodeLattice {
+            nx,
+            ny,
+            pitch,
+            sites,
+            candidates,
+            block_nodes,
+        })
+    }
+
+    /// Nodes per row.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Nodes per column.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// `true` if the lattice has no nodes (cannot occur for a valid build).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lattice pitch (µm).
+    pub fn pitch(&self) -> f64 {
+        self.pitch
+    }
+
+    /// Classification of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn site(&self, id: NodeId) -> NodeSite {
+        self.sites[id.0]
+    }
+
+    /// Die position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn position(&self, id: NodeId) -> Point {
+        assert!(id.0 < self.len(), "node {id} out of range");
+        let ix = id.0 % self.nx;
+        let iy = id.0 / self.nx;
+        Point::new(ix as f64 * self.pitch, iy as f64 * self.pitch)
+    }
+
+    /// Node at lattice coordinates `(ix, iy)`, if in range.
+    pub fn node_at(&self, ix: usize, iy: usize) -> Option<NodeId> {
+        (ix < self.nx && iy < self.ny).then(|| NodeId(iy * self.nx + ix))
+    }
+
+    /// Lattice coordinates of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn coords(&self, id: NodeId) -> (usize, usize) {
+        assert!(id.0 < self.len(), "node {id} out of range");
+        (id.0 % self.nx, id.0 / self.nx)
+    }
+
+    /// The 2–4 lattice neighbours of a node (right/left/up/down).
+    pub fn neighbors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let (ix, iy) = self.coords(id);
+        [
+            ix.checked_sub(1).and_then(|x| self.node_at(x, iy)),
+            self.node_at(ix + 1, iy),
+            iy.checked_sub(1).and_then(|y| self.node_at(ix, y)),
+            self.node_at(ix, iy + 1),
+        ]
+        .into_iter()
+        .flatten()
+    }
+
+    /// All blank-area nodes — the sensor candidate set `M` of the paper.
+    pub fn candidate_sites(&self) -> &[NodeId] {
+        &self.candidates
+    }
+
+    /// Lattice nodes inside a block (empty slice for unknown blocks).
+    pub fn nodes_in_block(&self, block: BlockId) -> &[NodeId] {
+        self.block_nodes
+            .get(&block)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterator over `(NodeId, NodeSite)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeSite)> + '_ {
+        self.sites
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (NodeId(i), s))
+    }
+
+    /// Number of function-area nodes.
+    pub fn fa_node_count(&self) -> usize {
+        self.len() - self.candidates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockKind, FunctionBlock};
+    use crate::geometry::Rect;
+    use crate::CoreId;
+
+    fn one_block() -> Vec<FunctionBlock> {
+        vec![FunctionBlock::new(
+            BlockId(0),
+            BlockKind::Alu0,
+            CoreId(0),
+            Rect::new(100.0, 100.0, 300.0, 300.0),
+        )]
+    }
+
+    #[test]
+    fn lattice_dimensions() {
+        let l = NodeLattice::build(1000.0, 500.0, 100.0, &one_block()).unwrap();
+        assert_eq!(l.nx(), 11);
+        assert_eq!(l.ny(), 6);
+        assert_eq!(l.len(), 66);
+    }
+
+    #[test]
+    fn classification_fa_vs_ba() {
+        let l = NodeLattice::build(1000.0, 500.0, 100.0, &one_block()).unwrap();
+        // Node at (200, 200) is inside the block.
+        let inside = l.node_at(2, 2).unwrap();
+        assert_eq!(l.site(inside), NodeSite::FunctionArea(BlockId(0)));
+        // Node at (0, 0) is blank area.
+        let outside = l.node_at(0, 0).unwrap();
+        assert_eq!(l.site(outside), NodeSite::BlankArea);
+    }
+
+    #[test]
+    fn candidates_plus_fa_cover_all() {
+        let l = NodeLattice::build(1000.0, 500.0, 100.0, &one_block()).unwrap();
+        assert_eq!(l.candidate_sites().len() + l.fa_node_count(), l.len());
+    }
+
+    #[test]
+    fn block_nodes_are_inside() {
+        let blocks = one_block();
+        let l = NodeLattice::build(1000.0, 500.0, 100.0, &blocks).unwrap();
+        for &nid in l.nodes_in_block(BlockId(0)) {
+            assert!(blocks[0].rect().contains(l.position(nid)));
+        }
+        // 3x3 nodes fall inside [100,300]²: x,y in {100, 200, 300}.
+        assert_eq!(l.nodes_in_block(BlockId(0)).len(), 9);
+    }
+
+    #[test]
+    fn unknown_block_gives_empty() {
+        let l = NodeLattice::build(1000.0, 500.0, 100.0, &one_block()).unwrap();
+        assert!(l.nodes_in_block(BlockId(42)).is_empty());
+    }
+
+    #[test]
+    fn neighbors_edge_and_interior() {
+        let l = NodeLattice::build(1000.0, 500.0, 100.0, &[]).unwrap();
+        let corner = l.node_at(0, 0).unwrap();
+        assert_eq!(l.neighbors(corner).count(), 2);
+        let interior = l.node_at(5, 3).unwrap();
+        assert_eq!(l.neighbors(interior).count(), 4);
+    }
+
+    #[test]
+    fn position_and_coords_round_trip() {
+        let l = NodeLattice::build(1000.0, 500.0, 100.0, &[]).unwrap();
+        let id = l.node_at(7, 2).unwrap();
+        assert_eq!(l.coords(id), (7, 2));
+        let p = l.position(id);
+        assert_eq!(p, Point::new(700.0, 200.0));
+    }
+
+    #[test]
+    fn coarse_pitch_rejected_when_block_missed() {
+        // Block is 50 µm wide but pitch is 400: no node can land inside.
+        let blocks = vec![FunctionBlock::new(
+            BlockId(0),
+            BlockKind::Alu0,
+            CoreId(0),
+            Rect::new(110.0, 110.0, 160.0, 160.0),
+        )];
+        assert!(NodeLattice::build(1000.0, 500.0, 400.0, &blocks).is_err());
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        assert!(NodeLattice::build(100.0, 100.0, 0.0, &[]).is_err());
+        assert!(NodeLattice::build(100.0, 100.0, f64::NAN, &[]).is_err());
+        assert!(NodeLattice::build(0.0, 100.0, 10.0, &[]).is_err());
+    }
+
+    #[test]
+    fn iter_covers_everything() {
+        let l = NodeLattice::build(300.0, 300.0, 100.0, &[]).unwrap();
+        assert_eq!(l.iter().count(), 16);
+        assert!(l.iter().all(|(_, s)| s == NodeSite::BlankArea));
+    }
+}

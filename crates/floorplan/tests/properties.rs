@@ -1,0 +1,109 @@
+//! Property-based tests for geometry and floorplan invariants.
+
+use proptest::prelude::*;
+use voltsense_floorplan::{ChipConfig, ChipFloorplan, NodeSite, Point, Rect};
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (0.0..500.0f64, 0.0..500.0f64, 1.0..500.0f64, 1.0..500.0f64)
+        .prop_map(|(x, y, w, h)| Rect::from_origin_size(Point::new(x, y), w, h))
+}
+
+/// A random but valid chip configuration.
+fn chip_config() -> impl Strategy<Value = ChipConfig> {
+    (1usize..4, 1usize..3, 1200.0..2400.0f64, 80.0..140.0f64).prop_map(
+        |(cx, cy, core_w, pitch)| ChipConfig {
+            cores_x: cx,
+            cores_y: cy,
+            core_width: core_w,
+            core_height: core_w * 0.8,
+            channel_fraction: 0.2,
+            core_spacing: 200.0,
+            periphery: 200.0,
+            grid_pitch: pitch,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rect_center_is_inside(r in rect()) {
+        prop_assert!(r.contains(r.center()));
+    }
+
+    #[test]
+    fn rect_overlap_is_symmetric(a in rect(), b in rect()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn rect_translation_preserves_area(r in rect(), dx in -100.0..100.0f64, dy in -100.0..100.0f64) {
+        let t = r.translated(dx, dy);
+        prop_assert!((t.area() - r.area()).abs() < 1e-9);
+        prop_assert!((t.width() - r.width()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_a_metric(ax in 0.0..100.0f64, ay in 0.0..100.0f64,
+                            bx in 0.0..100.0f64, by in 0.0..100.0f64,
+                            cx in 0.0..100.0f64, cy in 0.0..100.0f64) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let c = Point::new(cx, cy);
+        prop_assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-12);
+        prop_assert!(a.distance_to(a) == 0.0);
+        prop_assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9);
+    }
+
+    #[test]
+    fn chip_invariants_hold_for_any_valid_config(cfg in chip_config()) {
+        // Some pitches are too coarse for the blocks — that must be a
+        // clean error, never a bad floorplan.
+        let Ok(chip) = ChipFloorplan::new(&cfg) else { return Ok(()); };
+        // 30 blocks per core, block ids core-major.
+        prop_assert_eq!(chip.blocks().len(), 30 * cfg.cores_x * cfg.cores_y);
+        for (i, b) in chip.blocks().iter().enumerate() {
+            prop_assert_eq!(b.id().0, i);
+        }
+        // Blocks never overlap.
+        for (i, a) in chip.blocks().iter().enumerate() {
+            for b in &chip.blocks()[i + 1..] {
+                prop_assert!(!a.rect().overlaps(&b.rect()));
+            }
+        }
+        // Every FA node's owner really contains it; candidates + FA = all.
+        let lattice = chip.lattice();
+        let mut fa = 0usize;
+        for (id, site) in lattice.iter() {
+            match site {
+                NodeSite::FunctionArea(owner) => {
+                    fa += 1;
+                    let block = chip.block(owner).expect("owner exists");
+                    prop_assert!(block.rect().contains(lattice.position(id)));
+                }
+                NodeSite::BlankArea => {}
+            }
+        }
+        prop_assert_eq!(fa + lattice.candidate_sites().len(), lattice.len());
+        // Every block has at least one node (guaranteed by validation).
+        for b in chip.blocks() {
+            prop_assert!(!lattice.nodes_in_block(b.id()).is_empty());
+        }
+    }
+
+    #[test]
+    fn lattice_neighbors_are_mutual(cfg in chip_config()) {
+        let Ok(chip) = ChipFloorplan::new(&cfg) else { return Ok(()); };
+        let lattice = chip.lattice();
+        // Sample a handful of nodes.
+        let step = (lattice.len() / 7).max(1);
+        for i in (0..lattice.len()).step_by(step) {
+            let id = voltsense_floorplan::NodeId(i);
+            for n in lattice.neighbors(id) {
+                let back: Vec<_> = lattice.neighbors(n).collect();
+                prop_assert!(back.contains(&id), "neighbor relation not mutual");
+            }
+        }
+    }
+}

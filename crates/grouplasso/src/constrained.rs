@@ -1,0 +1,200 @@
+//! Constrained-form group lasso via bisection on the penalty.
+//!
+//! The paper states its selection problem with an explicit budget
+//! (`Σ‖β_m‖₂ ≤ λ`, Eq. 12). By Lagrangian duality the solution coincides
+//! with a penalized solution for some `μ(λ) ≥ 0`, and the consumed budget
+//! `Σ‖β_m(μ)‖₂` is monotone non-increasing in `μ`, so a bisection on `μ`
+//! recovers the constrained solution exactly. This keeps the paper's `λ`
+//! semantics (its Table 1 sweeps λ = 10…60) while using the fast BCD
+//! solver.
+
+use crate::bcd::{solve_penalized, GlOptions, GlSolution};
+use crate::problem::GlProblem;
+use crate::GroupLassoError;
+
+/// Result of a constrained solve.
+#[derive(Debug, Clone)]
+pub struct ConstrainedSolution {
+    /// The underlying penalized solution at the matched penalty.
+    pub solution: GlSolution,
+    /// The penalty `μ(λ)` found by bisection.
+    pub mu: f64,
+    /// The budget `Σ‖β_m‖₂` the solution actually consumes (≤ λ up to the
+    /// budget tolerance).
+    pub budget_used: f64,
+}
+
+/// Solves `min ‖G − βZ‖_F  s.t.  Σ‖β_m‖₂ ≤ λ`.
+///
+/// If the constraint is inactive (the unpenalized fit already satisfies
+/// the budget), the bisection converges towards μ → 0 and returns that
+/// loose solution.
+///
+/// # Errors
+///
+/// * [`GroupLassoError::InvalidParameter`] for `λ <= 0` or bad options.
+/// * Propagates solver failures from the inner penalized solves.
+///
+/// See the [crate-level docs](crate) for an example.
+pub fn solve_constrained(
+    problem: &GlProblem,
+    lambda: f64,
+    options: &GlOptions,
+) -> Result<ConstrainedSolution, GroupLassoError> {
+    options.validate()?;
+    if !(lambda > 0.0) || !lambda.is_finite() {
+        return Err(GroupLassoError::InvalidParameter {
+            what: format!("budget lambda must be finite and > 0, got {lambda}"),
+        });
+    }
+
+    // μ = μ_max gives budget 0; bisect downwards from there.
+    let mu_hi_start = problem.mu_max();
+    if mu_hi_start == 0.0 {
+        // Q = 0: the zero solution is optimal and consumes no budget.
+        let solution = solve_penalized(problem, 0.0, options, None)?;
+        let budget_used = solution.budget();
+        return Ok(ConstrainedSolution {
+            solution,
+            mu: 0.0,
+            budget_used,
+        });
+    }
+
+    // Plain bisection from μ_max downward. No cold probe near μ = 0:
+    // real sensor candidates are so correlated that an unregularized solve
+    // from a zero warm start is the slowest problem in the whole pipeline.
+    // Walking the midpoints down with warm starts visits small penalties
+    // only through a chain of nearby problems, each of which converges
+    // quickly. If the constraint turns out inactive, the bisection simply
+    // converges to μ → 0 and returns the (feasible) loose solution.
+    let mut lo = 0.0_f64; // budget(lo) > lambda (by convention; never solved)
+    let mut hi = mu_hi_start; // budget(μ_max) = 0 <= lambda
+    let mut warm: Option<voltsense_linalg::Matrix> = None;
+    let mut best: Option<(GlSolution, f64)> = None;
+
+    for _ in 0..options.max_bisections {
+        let mid = 0.5 * (lo + hi);
+        let sol = solve_penalized(problem, mid, options, warm.as_ref())?;
+        let budget = sol.budget();
+        warm = Some(sol.beta.clone());
+        if budget <= lambda {
+            // Feasible: remember the closest-to-budget feasible solution.
+            let better = match &best {
+                Some((_, b)) => budget > *b,
+                None => true,
+            };
+            if better {
+                best = Some((sol, budget));
+            }
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if let Some((_, b)) = &best {
+            if (lambda - b).abs() <= options.budget_tolerance * lambda {
+                break;
+            }
+        }
+    }
+
+    let (solution, budget_used) = best.ok_or(GroupLassoError::DidNotConverge {
+        iterations: options.max_bisections,
+        residual: f64::INFINITY,
+    })?;
+    let mu = solution.mu;
+    Ok(ConstrainedSolution {
+        solution,
+        mu,
+        budget_used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltsense_linalg::Matrix;
+
+    fn toy_problem() -> GlProblem {
+        let z = Matrix::from_rows(&[
+            &[1.0, -1.0, 0.8, -0.8, 1.2, -1.2, 0.9, -0.9],
+            &[0.9, -0.9, 0.7, -0.9, 1.1, -1.0, 0.8, -1.0],
+            &[0.3, 0.1, -0.2, 0.4, -0.1, 0.2, -0.3, -0.4],
+        ])
+        .unwrap();
+        let g = Matrix::from_rows(&[
+            &[1.0, -1.0, 0.8, -0.8, 1.2, -1.2, 0.9, -0.9],
+            &[0.95, -0.95, 0.75, -0.85, 1.15, -1.1, 0.85, -0.95],
+        ])
+        .unwrap();
+        GlProblem::from_data(&z, &g).unwrap()
+    }
+
+    #[test]
+    fn budget_is_respected_and_nearly_tight() {
+        let p = toy_problem();
+        for &lambda in &[0.3, 0.8, 1.5] {
+            let sol = solve_constrained(&p, lambda, &GlOptions::default()).unwrap();
+            assert!(
+                sol.budget_used <= lambda * (1.0 + 1e-9),
+                "λ={lambda}: budget {} exceeds",
+                sol.budget_used
+            );
+            // Active constraint: the solver should use almost all of it.
+            assert!(
+                sol.budget_used >= lambda * 0.995,
+                "λ={lambda}: budget {} too slack",
+                sol.budget_used
+            );
+        }
+    }
+
+    #[test]
+    fn large_budget_leaves_constraint_inactive() {
+        let p = toy_problem();
+        let sol = solve_constrained(&p, 1e6, &GlOptions::default()).unwrap();
+        // μ is (essentially) zero and the residual is the OLS one.
+        assert!(sol.mu <= p.mu_max() * 1e-8);
+        assert!(sol.budget_used < 1e6);
+    }
+
+    #[test]
+    fn more_budget_activates_more_sensors() {
+        let p = toy_problem();
+        let small = solve_constrained(&p, 0.2, &GlOptions::default()).unwrap();
+        let large = solve_constrained(&p, 2.0, &GlOptions::default()).unwrap();
+        let q_small = small.solution.selected(1e-8).len();
+        let q_large = large.solution.selected(1e-8).len();
+        assert!(q_small <= q_large, "{q_small} > {q_large}");
+        assert!(q_small >= 1);
+    }
+
+    #[test]
+    fn objective_improves_with_budget() {
+        let p = toy_problem();
+        let small = solve_constrained(&p, 0.2, &GlOptions::default()).unwrap();
+        let large = solve_constrained(&p, 1.5, &GlOptions::default()).unwrap();
+        let fit_small = p.smooth_objective(&small.solution.beta).unwrap();
+        let fit_large = p.smooth_objective(&large.solution.beta).unwrap();
+        assert!(fit_large <= fit_small + 1e-10);
+    }
+
+    #[test]
+    fn invalid_lambda_rejected() {
+        let p = toy_problem();
+        assert!(solve_constrained(&p, 0.0, &GlOptions::default()).is_err());
+        assert!(solve_constrained(&p, -1.0, &GlOptions::default()).is_err());
+        assert!(solve_constrained(&p, f64::NAN, &GlOptions::default()).is_err());
+    }
+
+    #[test]
+    fn zero_signal_problem_returns_zero() {
+        // G uncorrelated with Z in expectation — here exactly zero Q.
+        let z = Matrix::from_rows(&[&[1.0, -1.0, 1.0, -1.0]]).unwrap();
+        let g = Matrix::from_rows(&[&[1.0, 1.0, -1.0, -1.0]]).unwrap();
+        let p = GlProblem::from_data(&z, &g).unwrap();
+        assert_eq!(p.mu_max(), 0.0);
+        let sol = solve_constrained(&p, 1.0, &GlOptions::default()).unwrap();
+        assert!(sol.solution.beta.max_abs() < 1e-12);
+    }
+}

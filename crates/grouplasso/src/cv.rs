@@ -1,0 +1,237 @@
+//! Cross-validation for penalty selection.
+//!
+//! The paper sweeps λ by hand and leaves "how to determine the value of λ"
+//! to the designer (its Section 2.4). This module provides the standard
+//! data-driven answer: k-fold cross-validation over the training samples —
+//! fit on k−1 folds, measure the prediction residual on the held-out fold,
+//! pick the penalty minimizing the mean validation error (or the sparsest
+//! penalty within one standard error of it, the usual "1-SE rule").
+
+use voltsense_linalg::Matrix;
+
+use crate::bcd::GlOptions;
+use crate::problem::GlProblem;
+use crate::{solve_penalized, GroupLassoError};
+
+/// Result of a cross-validated penalty sweep.
+#[derive(Debug, Clone)]
+pub struct CvResult {
+    /// The penalties evaluated, in the caller's order.
+    pub mus: Vec<f64>,
+    /// Mean held-out residual `‖G_val − β Z_val‖_F² / n_val` per penalty.
+    pub mean_errors: Vec<f64>,
+    /// Standard error of the fold errors per penalty.
+    pub std_errors: Vec<f64>,
+    /// Index of the penalty with the smallest mean validation error.
+    pub best_index: usize,
+    /// Index chosen by the 1-SE rule: the largest penalty whose mean error
+    /// is within one standard error of the best.
+    pub one_se_index: usize,
+}
+
+impl CvResult {
+    /// The penalty minimizing mean validation error.
+    pub fn best_mu(&self) -> f64 {
+        self.mus[self.best_index]
+    }
+
+    /// The 1-SE-rule penalty (sparser, statistically indistinguishable).
+    pub fn one_se_mu(&self) -> f64 {
+        self.mus[self.one_se_index]
+    }
+}
+
+/// Runs k-fold cross-validation of the penalized group lasso over the
+/// given penalties.
+///
+/// `z` (`M x N`) and `g` (`K x N`) are the *normalized* data matrices;
+/// folds are interleaved (`sample % folds`) so every fold spans all
+/// benchmarks when samples are benchmark-ordered.
+///
+/// # Errors
+///
+/// * [`GroupLassoError::InvalidParameter`] if `folds < 2`, `folds > N`,
+///   `mus` is empty or contains negatives.
+/// * [`GroupLassoError::ShapeMismatch`] if `z` and `g` disagree on `N`.
+/// * Propagates solver failures.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_linalg::Matrix;
+/// use voltsense_grouplasso::{cross_validate, GlOptions};
+///
+/// # fn main() -> Result<(), voltsense_grouplasso::GroupLassoError> {
+/// let z = Matrix::from_rows(&[
+///     &[1.0, -1.0, 0.5, -0.5, 0.8, -0.8, 1.2, -1.2],
+///     &[0.1, 0.3, -0.2, 0.1, -0.3, 0.2, 0.1, -0.1],
+/// ])?;
+/// let g = Matrix::from_rows(&[&[1.0, -1.1, 0.4, -0.5, 0.9, -0.7, 1.1, -1.3]])?;
+/// let cv = cross_validate(&z, &g, &[0.01, 0.5, 5.0], 4, &GlOptions::default())?;
+/// // A moderate penalty beats drowning the signal (μ = 5 kills everything).
+/// assert!(cv.best_mu() < 5.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cross_validate(
+    z: &Matrix,
+    g: &Matrix,
+    mus: &[f64],
+    folds: usize,
+    options: &GlOptions,
+) -> Result<CvResult, GroupLassoError> {
+    options.validate()?;
+    let n = z.cols();
+    if g.cols() != n {
+        return Err(GroupLassoError::ShapeMismatch {
+            what: "sample count of Z and G",
+            expected: n,
+            actual: g.cols(),
+        });
+    }
+    if folds < 2 || folds > n {
+        return Err(GroupLassoError::InvalidParameter {
+            what: format!("folds must be in 2..=N, got {folds} (N = {n})"),
+        });
+    }
+    if mus.is_empty() || mus.iter().any(|m| !(m.is_finite() && *m >= 0.0)) {
+        return Err(GroupLassoError::InvalidParameter {
+            what: format!("penalties must be non-empty, finite and >= 0: {mus:?}"),
+        });
+    }
+
+    // Evaluate penalties from largest to smallest per fold (warm starts).
+    let mut order: Vec<usize> = (0..mus.len()).collect();
+    order.sort_by(|&a, &b| mus[b].partial_cmp(&mus[a]).expect("finite mus"));
+
+    let mut fold_errors = vec![vec![0.0f64; folds]; mus.len()];
+    for fold in 0..folds {
+        let train_idx: Vec<usize> = (0..n).filter(|s| s % folds != fold).collect();
+        let val_idx: Vec<usize> = (0..n).filter(|s| s % folds == fold).collect();
+        let z_train = z.select_cols(&train_idx);
+        let g_train = g.select_cols(&train_idx);
+        let z_val = z.select_cols(&val_idx);
+        let g_val = g.select_cols(&val_idx);
+        let problem = GlProblem::from_data(&z_train, &g_train)?;
+        let mut warm = None;
+        for &mi in &order {
+            let sol = solve_penalized(&problem, mus[mi], options, warm.as_ref())?;
+            let pred = sol.beta.matmul(&z_val)?;
+            let resid = &g_val - &pred;
+            fold_errors[mi][fold] =
+                resid.frobenius_norm().powi(2) / val_idx.len().max(1) as f64;
+            warm = Some(sol.beta);
+        }
+    }
+
+    let mean_errors: Vec<f64> = fold_errors
+        .iter()
+        .map(|e| e.iter().sum::<f64>() / folds as f64)
+        .collect();
+    let std_errors: Vec<f64> = fold_errors
+        .iter()
+        .zip(&mean_errors)
+        .map(|(e, &m)| {
+            let var = e.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / folds as f64;
+            (var / folds as f64).sqrt()
+        })
+        .collect();
+    let best_index = mean_errors
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite errors"))
+        .map(|(i, _)| i)
+        .expect("non-empty mus");
+    // 1-SE rule: largest penalty within one SE of the best mean error.
+    let limit = mean_errors[best_index] + std_errors[best_index];
+    let one_se_index = (0..mus.len())
+        .filter(|&i| mean_errors[i] <= limit)
+        .max_by(|&a, &b| mus[a].partial_cmp(&mus[b]).expect("finite mus"))
+        .unwrap_or(best_index);
+
+    Ok(CvResult {
+        mus: mus.to_vec(),
+        mean_errors,
+        std_errors,
+        best_index,
+        one_se_index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Target follows candidate 0; candidates 1–2 are noise.
+    fn data() -> (Matrix, Matrix) {
+        let n = 48;
+        let mut z = Matrix::zeros(3, n);
+        let mut g = Matrix::zeros(2, n);
+        for s in 0..n {
+            let t = s as f64;
+            let sig = (t * 0.9).sin();
+            z[(0, s)] = sig;
+            z[(1, s)] = (t * 2.7).cos() * 0.8;
+            z[(2, s)] = ((t * 1.3).sin() + (t * 0.4).cos()) * 0.6;
+            g[(0, s)] = sig + 0.05 * (t * 5.1).sin();
+            g[(1, s)] = 0.7 * sig + 0.05 * (t * 6.3).cos();
+        }
+        (z, g)
+    }
+
+    #[test]
+    fn cv_prefers_moderate_penalty_over_kill_all() {
+        let (z, g) = data();
+        let mus = [1e-4, 0.5, 50.0];
+        let cv = cross_validate(&z, &g, &mus, 4, &GlOptions::default()).unwrap();
+        assert!(cv.best_mu() < 50.0, "CV picked the signal-killing penalty");
+        // Mean error at the huge penalty equals predicting zero.
+        assert!(cv.mean_errors[2] > cv.mean_errors[cv.best_index]);
+    }
+
+    #[test]
+    fn one_se_rule_never_smaller_than_best() {
+        let (z, g) = data();
+        let mus = [1e-4, 0.05, 0.5, 5.0];
+        let cv = cross_validate(&z, &g, &mus, 4, &GlOptions::default()).unwrap();
+        assert!(cv.one_se_mu() >= cv.best_mu());
+    }
+
+    #[test]
+    fn errors_have_fold_statistics() {
+        let (z, g) = data();
+        let cv = cross_validate(&z, &g, &[0.1, 1.0], 6, &GlOptions::default()).unwrap();
+        assert_eq!(cv.mean_errors.len(), 2);
+        assert_eq!(cv.std_errors.len(), 2);
+        assert!(cv.mean_errors.iter().all(|&e| e.is_finite() && e >= 0.0));
+        assert!(cv.std_errors.iter().all(|&e| e.is_finite() && e >= 0.0));
+    }
+
+    #[test]
+    fn results_keep_caller_order() {
+        let (z, g) = data();
+        let mus = [1.0, 0.01, 0.3];
+        let cv = cross_validate(&z, &g, &mus, 3, &GlOptions::default()).unwrap();
+        assert_eq!(cv.mus, mus.to_vec());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let (z, g) = data();
+        assert!(cross_validate(&z, &g, &[], 4, &GlOptions::default()).is_err());
+        assert!(cross_validate(&z, &g, &[0.1], 1, &GlOptions::default()).is_err());
+        assert!(cross_validate(&z, &g, &[0.1], 1000, &GlOptions::default()).is_err());
+        assert!(cross_validate(&z, &g, &[-0.1], 4, &GlOptions::default()).is_err());
+        let g_bad = Matrix::zeros(1, 3);
+        assert!(cross_validate(&z, &g_bad, &[0.1], 2, &GlOptions::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (z, g) = data();
+        let a = cross_validate(&z, &g, &[0.1, 0.5], 4, &GlOptions::default()).unwrap();
+        let b = cross_validate(&z, &g, &[0.1, 0.5], 4, &GlOptions::default()).unwrap();
+        assert_eq!(a.mean_errors, b.mean_errors);
+        assert_eq!(a.best_index, b.best_index);
+    }
+}

@@ -1,0 +1,101 @@
+use std::error::Error;
+use std::fmt;
+
+use voltsense_linalg::LinalgError;
+
+/// Error type for group-lasso problem construction and solving.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GroupLassoError {
+    /// Input matrices disagreed on a dimension.
+    ShapeMismatch {
+        /// Description of the failing check.
+        what: &'static str,
+        /// Expected value.
+        expected: usize,
+        /// Actual value.
+        actual: usize,
+    },
+    /// A parameter (penalty, budget, tolerance) was out of range.
+    InvalidParameter {
+        /// Human-readable description.
+        what: String,
+    },
+    /// Input contained NaN or infinity.
+    NonFinite {
+        /// Description of the offending input.
+        what: &'static str,
+    },
+    /// The iterative solver hit its sweep limit before converging.
+    DidNotConverge {
+        /// Sweeps/iterations performed.
+        iterations: usize,
+        /// Final convergence measure (max coefficient change).
+        residual: f64,
+    },
+    /// An underlying dense linear-algebra call failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for GroupLassoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupLassoError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "shape mismatch in {what}: expected {expected}, got {actual}"),
+            GroupLassoError::InvalidParameter { what } => {
+                write!(f, "invalid parameter: {what}")
+            }
+            GroupLassoError::NonFinite { what } => {
+                write!(f, "non-finite value encountered in {what}")
+            }
+            GroupLassoError::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver did not converge after {iterations} sweeps (residual {residual:.3e})"
+            ),
+            GroupLassoError::Linalg(e) => write!(f, "linear algebra failed: {e}"),
+        }
+    }
+}
+
+impl Error for GroupLassoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GroupLassoError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for GroupLassoError {
+    fn from(e: LinalgError) -> Self {
+        GroupLassoError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = GroupLassoError::from(LinalgError::Singular { index: 2 });
+        assert!(err.source().is_some());
+        let err = GroupLassoError::DidNotConverge {
+            iterations: 5,
+            residual: 0.1,
+        };
+        assert!(err.to_string().contains("5 sweeps"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GroupLassoError>();
+    }
+}

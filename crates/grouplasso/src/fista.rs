@@ -1,0 +1,226 @@
+//! FISTA (accelerated proximal gradient) solver — an independent
+//! cross-check of the BCD solver and a better fit for very large dense
+//! problems.
+
+use voltsense_linalg::Matrix;
+
+use crate::bcd::{GlOptions, GlSolution};
+use crate::problem::{column_norm, GlProblem};
+use crate::GroupLassoError;
+
+/// Solves the penalized multi-task group lasso by FISTA.
+///
+/// Gradient of the smooth part is `βS − Q`; the proximal operator of
+/// `μ Σ‖β_m‖₂` is a per-column group soft threshold. The step size is
+/// `1/L` with `L = λ_max(S)` estimated by power iteration.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::solve_penalized`]; like it, hitting the
+/// iteration limit returns a best-effort solution with
+/// `converged = false` rather than an error.
+pub fn solve_penalized_fista(
+    problem: &GlProblem,
+    mu: f64,
+    options: &GlOptions,
+    warm_start: Option<&Matrix>,
+) -> Result<GlSolution, GroupLassoError> {
+    options.validate()?;
+    if !(mu >= 0.0) || !mu.is_finite() {
+        return Err(GroupLassoError::InvalidParameter {
+            what: format!("penalty mu must be finite and >= 0, got {mu}"),
+        });
+    }
+    let k_count = problem.num_targets();
+    let m_count = problem.num_candidates();
+    let s = problem.s();
+    let q = problem.q();
+
+    let lip = spectral_norm_upper(s).max(f64::MIN_POSITIVE);
+    let step = 1.0 / lip;
+
+    let mut beta = match warm_start {
+        Some(b) => {
+            problem.check_beta(b)?;
+            b.clone()
+        }
+        None => Matrix::zeros(k_count, m_count),
+    };
+    let mut y = beta.clone();
+    let mut t = 1.0_f64;
+
+    let mut iterations = 0;
+    let converged = loop {
+        iterations += 1;
+        // Gradient step at the extrapolated point y.
+        let grad = {
+            let mut g = y.matmul(s)?;
+            g -= q;
+            g
+        };
+        let mut next = y.clone();
+        for (n, gv) in next.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+            *n -= step * gv;
+        }
+        // Proximal map: group soft threshold per column.
+        let thresh = mu * step;
+        for m in 0..m_count {
+            let norm = column_norm(&next, m);
+            let scale = if norm <= thresh {
+                0.0
+            } else {
+                1.0 - thresh / norm
+            };
+            for k in 0..k_count {
+                next[(k, m)] *= scale;
+            }
+        }
+
+        // Convergence on the iterate change.
+        let mut max_change = 0.0_f64;
+        let mut max_coef = 0.0_f64;
+        for (n, b) in next.as_slice().iter().zip(beta.as_slice()) {
+            max_change = max_change.max((n - b).abs());
+            max_coef = max_coef.max(n.abs());
+        }
+
+        // FISTA momentum.
+        let t_next = (1.0 + (1.0 + 4.0 * t * t).sqrt()) / 2.0;
+        let momentum = (t - 1.0) / t_next;
+        let mut y_next = next.clone();
+        for ((yv, nv), bv) in y_next
+            .as_mut_slice()
+            .iter_mut()
+            .zip(next.as_slice())
+            .zip(beta.as_slice())
+        {
+            *yv = nv + momentum * (nv - bv);
+        }
+        beta = next;
+        y = y_next;
+        t = t_next;
+
+        let scale = max_coef.max(1e-12);
+        if max_change <= options.tolerance * scale {
+            break true;
+        }
+        if iterations >= options.max_sweeps {
+            break false;
+        }
+    };
+
+    let smooth = problem.smooth_objective(&beta)?;
+    let penalty: f64 = (0..m_count).map(|m| column_norm(&beta, m)).sum::<f64>() * mu;
+    let kkt_residual = crate::kkt_violation(problem, &beta, mu)?
+        / problem.mu_max().max(f64::MIN_POSITIVE);
+    Ok(GlSolution {
+        beta,
+        mu,
+        objective: smooth + penalty,
+        sweeps: iterations,
+        converged,
+        kkt_residual,
+    })
+}
+
+/// Upper estimate of `λ_max(S)` by power iteration with a safety factor.
+fn spectral_norm_upper(s: &Matrix) -> f64 {
+    let n = s.rows();
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.37).sin()).collect();
+    let mut lambda = 0.0;
+    for _ in 0..50 {
+        let w = s.matvec(&v).expect("square matvec");
+        let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return 0.0;
+        }
+        lambda = norm / v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let inv = 1.0 / norm;
+        v = w.into_iter().map(|x| x * inv).collect();
+    }
+    // 5% headroom keeps the step size safely below 1/λ_max even if power
+    // iteration has not fully converged.
+    lambda * 1.05
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_penalized;
+
+    fn toy_problem() -> GlProblem {
+        let z = Matrix::from_rows(&[
+            &[1.0, -1.0, 0.8, -0.8, 1.2, -1.2, 0.9, -0.9],
+            &[0.9, -0.9, 0.7, -0.9, 1.1, -1.0, 0.8, -1.0],
+            &[0.3, 0.1, -0.2, 0.4, -0.1, 0.2, -0.3, -0.4],
+        ])
+        .unwrap();
+        let g = Matrix::from_rows(&[
+            &[1.0, -1.0, 0.8, -0.8, 1.2, -1.2, 0.9, -0.9],
+            &[0.95, -0.95, 0.75, -0.85, 1.15, -1.1, 0.85, -0.95],
+        ])
+        .unwrap();
+        GlProblem::from_data(&z, &g).unwrap()
+    }
+
+    #[test]
+    fn fista_matches_bcd_objective() {
+        let p = toy_problem();
+        let opts = GlOptions {
+            max_sweeps: 20_000,
+            tolerance: 1e-10,
+            ..GlOptions::default()
+        };
+        for &mu in &[0.05, 0.3, 1.0, 2.5] {
+            let bcd = solve_penalized(&p, mu, &opts, None).unwrap();
+            let fista = solve_penalized_fista(&p, mu, &opts, None).unwrap();
+            assert!(
+                (bcd.objective - fista.objective).abs() < 1e-5,
+                "mu={mu}: bcd {} vs fista {}",
+                bcd.objective,
+                fista.objective
+            );
+        }
+    }
+
+    #[test]
+    fn fista_matches_bcd_support() {
+        let p = toy_problem();
+        let opts = GlOptions {
+            max_sweeps: 20_000,
+            tolerance: 1e-10,
+            ..GlOptions::default()
+        };
+        let bcd = solve_penalized(&p, 0.8, &opts, None).unwrap();
+        let fista = solve_penalized_fista(&p, 0.8, &opts, None).unwrap();
+        assert_eq!(bcd.selected(1e-6), fista.selected(1e-6));
+    }
+
+    #[test]
+    fn huge_penalty_zeroes_out() {
+        let p = toy_problem();
+        let sol =
+            solve_penalized_fista(&p, p.mu_max() * 1.1, &GlOptions::default(), None).unwrap();
+        assert!(sol.beta.max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_norm_bound_is_valid() {
+        let p = toy_problem();
+        let s = p.s();
+        let upper = spectral_norm_upper(s);
+        // Check against the Frobenius bound and a random quadratic form.
+        assert!(upper <= s.frobenius_norm() * 1.05 + 1e-9);
+        let v = [0.5, -0.3, 0.8];
+        let sv = s.matvec(&v).unwrap();
+        let rayleigh = v.iter().zip(&sv).map(|(a, b)| a * b).sum::<f64>()
+            / v.iter().map(|x| x * x).sum::<f64>();
+        assert!(rayleigh <= upper + 1e-9);
+    }
+
+    #[test]
+    fn invalid_input_rejected() {
+        let p = toy_problem();
+        assert!(solve_penalized_fista(&p, -0.1, &GlOptions::default(), None).is_err());
+    }
+}

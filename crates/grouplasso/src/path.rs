@@ -1,0 +1,170 @@
+//! Penalty-path sweeps with warm starts.
+//!
+//! The paper's Section 2.4 sweeps λ over a large range to explore the
+//! sensor-count / accuracy trade-off (its Table 1). [`penalty_path`]
+//! computes the whole path efficiently: each μ is solved warm-started from
+//! the previous solution, which is dramatically cheaper than independent
+//! cold solves.
+
+use crate::bcd::{solve_penalized, GlOptions};
+use crate::problem::GlProblem;
+use crate::GroupLassoError;
+
+/// One point on a penalty path.
+#[derive(Debug, Clone)]
+pub struct PathPoint {
+    /// The penalty this point was solved at.
+    pub mu: f64,
+    /// Per-candidate group norms `‖β_m‖₂`.
+    pub group_norms: Vec<f64>,
+    /// Budget `Σ‖β_m‖₂`.
+    pub budget: f64,
+    /// Number of candidates with group norm above `threshold`.
+    pub num_selected: usize,
+    /// Smooth data-fit part of the objective, `½‖G − βZ‖²`.
+    pub fit: f64,
+}
+
+/// Solves the penalized problem at each `mu` in `mus` (any order; they are
+/// processed from largest to smallest for warm-start efficiency, and the
+/// results are returned in the caller's order).
+///
+/// `threshold` is the selection threshold `T` used to count active
+/// sensors per point.
+///
+/// # Errors
+///
+/// * [`GroupLassoError::InvalidParameter`] if `mus` is empty or contains a
+///   negative/non-finite value, or if `threshold` is negative.
+/// * Propagates inner solver failures.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_linalg::Matrix;
+/// use voltsense_grouplasso::{GlProblem, GlOptions, penalty_path};
+///
+/// # fn main() -> Result<(), voltsense_grouplasso::GroupLassoError> {
+/// let z = Matrix::from_rows(&[&[1.0, -1.0, 0.5, -0.5]])?;
+/// let g = Matrix::from_rows(&[&[0.9, -1.1, 0.4, -0.6]])?;
+/// let p = GlProblem::from_data(&z, &g)?;
+/// let path = penalty_path(&p, &[0.01, 0.1, 1.0], 1e-3, &GlOptions::default())?;
+/// // Sparsity is monotone along the path.
+/// assert!(path[0].num_selected >= path[2].num_selected);
+/// # Ok(())
+/// # }
+/// ```
+pub fn penalty_path(
+    problem: &GlProblem,
+    mus: &[f64],
+    threshold: f64,
+    options: &GlOptions,
+) -> Result<Vec<PathPoint>, GroupLassoError> {
+    options.validate()?;
+    if mus.is_empty() {
+        return Err(GroupLassoError::InvalidParameter {
+            what: "penalty path needs at least one mu".into(),
+        });
+    }
+    if mus.iter().any(|m| !(m.is_finite() && *m >= 0.0)) {
+        return Err(GroupLassoError::InvalidParameter {
+            what: format!("penalties must be finite and >= 0: {mus:?}"),
+        });
+    }
+    if !(threshold >= 0.0) {
+        return Err(GroupLassoError::InvalidParameter {
+            what: format!("threshold must be >= 0, got {threshold}"),
+        });
+    }
+
+    // Process from largest to smallest penalty (sparsest first).
+    let mut order: Vec<usize> = (0..mus.len()).collect();
+    order.sort_by(|&a, &b| mus[b].partial_cmp(&mus[a]).expect("finite mus"));
+
+    let mut results: Vec<Option<PathPoint>> = vec![None; mus.len()];
+    let mut warm = None;
+    for &idx in &order {
+        let sol = solve_penalized(problem, mus[idx], options, warm.as_ref())?;
+        let group_norms = sol.group_norms();
+        let budget = group_norms.iter().sum();
+        let num_selected = group_norms.iter().filter(|&&n| n > threshold).count();
+        let fit = problem.smooth_objective(&sol.beta)?;
+        results[idx] = Some(PathPoint {
+            mu: mus[idx],
+            group_norms,
+            budget,
+            num_selected,
+            fit,
+        });
+        warm = Some(sol.beta);
+    }
+    Ok(results.into_iter().map(|p| p.expect("all filled")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltsense_linalg::Matrix;
+
+    fn toy_problem() -> GlProblem {
+        let z = Matrix::from_rows(&[
+            &[1.0, -1.0, 0.8, -0.8, 1.2, -1.2, 0.9, -0.9],
+            &[0.9, -0.9, 0.7, -0.9, 1.1, -1.0, 0.8, -1.0],
+            &[0.3, 0.1, -0.2, 0.4, -0.1, 0.2, -0.3, -0.4],
+        ])
+        .unwrap();
+        let g = Matrix::from_rows(&[
+            &[1.0, -1.0, 0.8, -0.8, 1.2, -1.2, 0.9, -0.9],
+            &[0.95, -0.95, 0.75, -0.85, 1.15, -1.1, 0.85, -0.95],
+        ])
+        .unwrap();
+        GlProblem::from_data(&z, &g).unwrap()
+    }
+
+    #[test]
+    fn path_is_monotone_in_budget_and_selection() {
+        let p = toy_problem();
+        let mus = [0.01, 0.1, 0.5, 1.5, 4.0];
+        let path = penalty_path(&p, &mus, 1e-8, &GlOptions::default()).unwrap();
+        for w in path.windows(2) {
+            assert!(w[0].budget >= w[1].budget - 1e-9);
+            assert!(w[0].num_selected >= w[1].num_selected);
+            assert!(w[0].fit <= w[1].fit + 1e-9);
+        }
+    }
+
+    #[test]
+    fn results_follow_caller_order() {
+        let p = toy_problem();
+        let mus = [1.0, 0.05, 0.4];
+        let path = penalty_path(&p, &mus, 1e-8, &GlOptions::default()).unwrap();
+        assert_eq!(path.len(), 3);
+        for (pt, &mu) in path.iter().zip(&mus) {
+            assert_eq!(pt.mu, mu);
+        }
+    }
+
+    #[test]
+    fn path_matches_cold_solves() {
+        let p = toy_problem();
+        let mus = [0.2, 0.8];
+        let path = penalty_path(&p, &mus, 1e-8, &GlOptions::default()).unwrap();
+        for (pt, &mu) in path.iter().zip(&mus) {
+            let cold = solve_penalized(&p, mu, &GlOptions::default(), None).unwrap();
+            let cold_budget = cold.budget();
+            assert!(
+                (pt.budget - cold_budget).abs() < 1e-6,
+                "mu={mu}: warm {} vs cold {cold_budget}",
+                pt.budget
+            );
+        }
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let p = toy_problem();
+        assert!(penalty_path(&p, &[], 1e-3, &GlOptions::default()).is_err());
+        assert!(penalty_path(&p, &[-0.1], 1e-3, &GlOptions::default()).is_err());
+        assert!(penalty_path(&p, &[0.1], -1.0, &GlOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+use crate::{LinalgError, Matrix};
+
+/// Dense Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix.
+///
+/// Used to solve the normal equations of the OLS refit
+/// (`α = F X̄ᵀ (X̄ X̄ᵀ)⁻¹` in the paper) and as a reference implementation for
+/// the sparse envelope Cholesky in `voltsense-sparse`.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_linalg::{Matrix, decomp::Cholesky};
+///
+/// # fn main() -> Result<(), voltsense_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = Cholesky::new(&a)?;
+/// let x = chol.solve(&[8.0, 7.0])?;
+/// // A x = [8, 7] => x = [1.25, 1.5]
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored dense (upper part is zero).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; the strict upper triangle is
+    /// assumed to mirror it.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidDimensions`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is `<= 0` (within a
+    ///   scaled tolerance), which also catches symmetric indefinite input.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN or infinity.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::InvalidDimensions {
+                what: format!("Cholesky requires square matrix, got {}x{}", a.rows(), a.cols()),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { what: "Cholesky input" });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        // Tolerance scaled to the matrix magnitude to detect "numerically
+        // indefinite" input rather than failing with NaN later.
+        let tol = a.max_abs() * 1e-14;
+        for j in 0..n {
+            // Diagonal entry.
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= tol.max(f64::MIN_POSITIVE) {
+                return Err(LinalgError::NotPositiveDefinite { index: j, pivot: d });
+            }
+            let dsqrt = d.sqrt();
+            l[(j, j)] = dsqrt;
+            // Column below the diagonal.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dsqrt;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.l[(k, i)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve_matrix",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve(&b.col(j))?;
+            out.set_col(j, &x);
+        }
+        Ok(out)
+    }
+
+    /// Log-determinant of `A` (`2 Σ log L_ii`), useful for statistical
+    /// diagnostics.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I for a random-ish B is SPD; use a fixed known SPD matrix.
+        Matrix::from_rows(&[
+            &[6.0, 2.0, 1.0],
+            &[2.0, 5.0, 2.0],
+            &[1.0, 2.0, 4.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.l();
+        let llt = l.matmul(&l.transpose()).unwrap();
+        assert!(llt.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn solve_residual_small() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = chol.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (ai, bi) in ax.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let x = chol.solve_matrix(&b).unwrap();
+        let ax = a.matmul(&x).unwrap();
+        assert!(ax.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::InvalidDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let mut a = spd3();
+        a[(0, 0)] = f64::NAN;
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_wrong_len() {
+        let chol = Cholesky::new(&spd3()).unwrap();
+        assert!(chol.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn log_det_identity_is_zero() {
+        let chol = Cholesky::new(&Matrix::identity(5)).unwrap();
+        assert!(chol.log_det().abs() < 1e-14);
+    }
+
+    #[test]
+    fn log_det_diagonal() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 8.0]]).unwrap();
+        let chol = Cholesky::new(&a).unwrap();
+        assert!((chol.log_det() - 16.0_f64.ln()).abs() < 1e-12);
+    }
+}

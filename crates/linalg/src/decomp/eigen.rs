@@ -1,0 +1,265 @@
+use crate::{LinalgError, Matrix};
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Jacobi rotations converge quadratically and retain full accuracy on the
+/// small/medium symmetric matrices this workspace diagnoses (sensor Gram
+/// matrices, covariance spectra); no attempt is made at large-scale
+/// performance.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_linalg::{Matrix, decomp::SymmetricEigen};
+///
+/// # fn main() -> Result<(), voltsense_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let eig = SymmetricEigen::new(&a)?;
+/// // Eigenvalues of [[2,1],[1,2]] are 1 and 3 (ascending order).
+/// assert!((eig.eigenvalues[0] - 1.0).abs() < 1e-12);
+/// assert!((eig.eigenvalues[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, matching
+    /// `eigenvalues` order.
+    pub eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Maximum Jacobi sweeps before declaring failure (quadratic
+    /// convergence makes ~15 sweeps ample for any practical size).
+    const MAX_SWEEPS: usize = 50;
+
+    /// Computes the decomposition. Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidDimensions`] if `a` is not square or empty.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN or infinity.
+    /// * [`LinalgError::Singular`] if the sweep limit is exhausted before
+    ///   the off-diagonal mass vanishes (does not occur for finite input;
+    ///   kept as a defensive bound).
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() || a.rows() == 0 {
+            return Err(LinalgError::InvalidDimensions {
+                what: format!(
+                    "symmetric eigen requires non-empty square matrix, got {}x{}",
+                    a.rows(),
+                    a.cols()
+                ),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite {
+                what: "symmetric eigen input",
+            });
+        }
+        let n = a.rows();
+        // Symmetrize from the lower triangle.
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                m[(i, j)] = a[(i, j)];
+                m[(j, i)] = a[(i, j)];
+            }
+        }
+        let mut v = Matrix::identity(n);
+        let tol = 1e-14 * m.max_abs().max(f64::MIN_POSITIVE);
+
+        for _sweep in 0..Self::MAX_SWEEPS {
+            let mut off = 0.0_f64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off = off.max(m[(i, j)].abs());
+                }
+            }
+            if off <= tol {
+                // Sorted output.
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&p, &q| {
+                    m[(p, p)].partial_cmp(&m[(q, q)]).expect("finite eigenvalues")
+                });
+                let eigenvalues: Vec<f64> = order.iter().map(|&p| m[(p, p)]).collect();
+                let mut eigenvectors = Matrix::zeros(n, n);
+                for (new_col, &old_col) in order.iter().enumerate() {
+                    for r in 0..n {
+                        eigenvectors[(r, new_col)] = v[(r, old_col)];
+                    }
+                }
+                return Ok(SymmetricEigen {
+                    eigenvalues,
+                    eigenvectors,
+                });
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol {
+                        continue;
+                    }
+                    // Jacobi rotation annihilating m[p][q].
+                    let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    // Apply the rotation on both sides: M ← JᵀMJ.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate eigenvectors: V ← VJ.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        Err(LinalgError::Singular { index: 0 })
+    }
+
+    /// Spectral condition number `λ_max / λ_min` of a symmetric
+    /// positive-definite matrix; infinite if the smallest eigenvalue is
+    /// non-positive.
+    pub fn condition_number(&self) -> f64 {
+        let min = *self.eigenvalues.first().expect("non-empty spectrum");
+        let max = *self.eigenvalues.last().expect("non-empty spectrum");
+        if min <= 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym3() -> Matrix {
+        Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0],
+            &[1.0, 3.0, 0.5],
+            &[-2.0, 0.5, 5.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = sym3();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        // A = V Λ Vᵀ
+        let n = 3;
+        let mut lambda = Matrix::zeros(n, n);
+        for i in 0..n {
+            lambda[(i, i)] = eig.eigenvalues[i];
+        }
+        let recon = eig
+            .eigenvectors
+            .matmul(&lambda)
+            .unwrap()
+            .matmul(&eig.eigenvectors.transpose())
+            .unwrap();
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let eig = SymmetricEigen::new(&sym3()).unwrap();
+        let vtv = eig
+            .eigenvectors
+            .transpose()
+            .matmul(&eig.eigenvectors)
+            .unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn eigenvalues_ascending_and_match_trace() {
+        let a = sym3();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!(eig.eigenvalues.windows(2).all(|w| w[0] <= w[1]));
+        let trace: f64 = (0..3).map(|i| a[(i, i)]).sum();
+        let sum: f64 = eig.eigenvalues.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues[0] - 1.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_immediate() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -1.0]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(eig.eigenvalues, vec![-1.0, 3.0]);
+    }
+
+    #[test]
+    fn condition_number_spd_and_indefinite() {
+        let spd = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let eig = SymmetricEigen::new(&spd).unwrap();
+        assert!((eig.condition_number() - 4.0).abs() < 1e-12);
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        let eig = SymmetricEigen::new(&indef).unwrap();
+        assert!(eig.condition_number().is_infinite());
+    }
+
+    #[test]
+    fn agrees_with_cholesky_logdet() {
+        // For SPD input, Σ ln λ_i = log det = Cholesky log_det.
+        let a = sym3();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let chol = crate::decomp::Cholesky::new(&a).unwrap();
+        let sum_ln: f64 = eig.eigenvalues.iter().map(|l| l.ln()).sum();
+        assert!((sum_ln - chol.log_det()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(SymmetricEigen::new(&Matrix::zeros(0, 0)).is_err());
+        let mut nan = sym3();
+        nan[(0, 0)] = f64::NAN;
+        assert!(SymmetricEigen::new(&nan).is_err());
+    }
+
+    #[test]
+    fn only_lower_triangle_is_read() {
+        let mut a = sym3();
+        a[(0, 2)] = 999.0; // poison the upper triangle
+        let eig_poisoned = SymmetricEigen::new(&a).unwrap();
+        let eig_clean = SymmetricEigen::new(&sym3()).unwrap();
+        for (p, c) in eig_poisoned
+            .eigenvalues
+            .iter()
+            .zip(&eig_clean.eigenvalues)
+        {
+            assert!((p - c).abs() < 1e-12);
+        }
+    }
+}

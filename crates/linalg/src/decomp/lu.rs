@@ -1,0 +1,234 @@
+use crate::{LinalgError, Matrix};
+
+/// Partially-pivoted LU factorization `P A = L U` of a square matrix.
+///
+/// General-purpose square solver; the power-grid DC operating point uses the
+/// sparse path in `voltsense-sparse`, but small dense systems (pad companion
+/// models, unit tests of the sparse solvers) go through `Lu`.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_linalg::{Matrix, decomp::Lu};
+///
+/// # fn main() -> Result<(), voltsense_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]])?;
+/// let lu = Lu::new(&a)?;
+/// let x = lu.solve(&[2.0, 2.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors: U in the upper triangle (inclusive of the
+    /// diagonal), the unit-lower-triangular L below it.
+    packed: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidDimensions`] if `a` is not square or empty.
+    /// * [`LinalgError::Singular`] if no usable pivot exists in a column.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN or infinity.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() || a.rows() == 0 {
+            return Err(LinalgError::InvalidDimensions {
+                what: format!("LU requires non-empty square matrix, got {}x{}", a.rows(), a.cols()),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { what: "LU input" });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = a.max_abs().max(1.0);
+        for k in 0..n {
+            // Find the pivot row.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= scale * 1e-14 {
+                return Err(LinalgError::Singular { index: k });
+            }
+            if pivot_row != k {
+                // Swap the full rows and the permutation record.
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(Lu {
+            packed: lu,
+            perm,
+            perm_sign: sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Apply the permutation, then forward substitution (unit lower).
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            for k in 0..i {
+                y[i] -= self.packed[(i, k)] * y[k];
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.packed[(i, k)] * y[k];
+            }
+            y[i] /= self.packed[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.packed[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the original matrix, computed column by column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (shape errors cannot occur here).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            inv.set_col(j, &col);
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            &[2.0, 1.0, 1.0],
+            &[4.0, -6.0, 0.0],
+            &[-2.0, 7.0, 2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = sample();
+        let lu = Lu::new(&a).unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = lu.solve(&b).unwrap();
+        for (xi, xt) in x.iter().zip(&x_true) {
+            assert!((xi - xt).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn det_known() {
+        // det = 2*(-6*2 - 0*7) - 1*(4*2 - 0*(-2)) + 1*(4*7 - (-6)(-2))
+        //     = 2*(-12) - 8 + (28 - 12) = -24 - 8 + 16 = -16
+        let lu = Lu::new(&sample()).unwrap();
+        assert!((lu.det() - (-16.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn det_identity() {
+        let lu = Lu::new(&Matrix::identity(4)).unwrap();
+        assert!((lu.det() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = sample();
+        let lu = Lu::new(&a).unwrap();
+        let inv = lu.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(Lu::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(Lu::new(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn solve_wrong_len() {
+        let lu = Lu::new(&Matrix::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for every fallible operation in this crate.
+///
+/// The variants carry enough context (dimensions, indices) to diagnose the
+/// failing call without re-running it under a debugger.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Description of the operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A dimension that must be non-zero was zero, or rows had ragged lengths.
+    InvalidDimensions {
+        /// Description of the offending construction.
+        what: String,
+    },
+    /// A matrix expected to be symmetric positive definite was not:
+    /// the Cholesky pivot at `index` was non-positive.
+    NotPositiveDefinite {
+        /// Row/column index of the failing pivot.
+        index: usize,
+        /// Value of the failing pivot.
+        pivot: f64,
+    },
+    /// A matrix was singular (or numerically rank-deficient) at `index`.
+    Singular {
+        /// Pivot index at which singularity was detected.
+        index: usize,
+    },
+    /// An input contained a NaN or infinite entry.
+    NonFinite {
+        /// Description of the input that contained the non-finite value.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::InvalidDimensions { what } => {
+                write!(f, "invalid dimensions: {what}")
+            }
+            LinalgError::NotPositiveDefinite { index, pivot } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot:.3e} at index {index}"
+            ),
+            LinalgError::Singular { index } => {
+                write!(f, "matrix is singular at pivot {index}")
+            }
+            LinalgError::NonFinite { what } => {
+                write!(f, "non-finite value encountered in {what}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = LinalgError::ShapeMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+
+    #[test]
+    fn not_positive_definite_reports_pivot() {
+        let err = LinalgError::NotPositiveDefinite {
+            index: 3,
+            pivot: -1.5,
+        };
+        assert!(err.to_string().contains("index 3"));
+    }
+}

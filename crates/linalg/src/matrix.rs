@@ -1,0 +1,757 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+use crate::LinalgError;
+
+/// A dense, row-major, `f64` matrix.
+///
+/// `Matrix` is the workhorse container of the workspace: training data
+/// (`X`, `F`, `Z`, `G` in the paper), model coefficients (`alpha`, `beta`)
+/// and intermediate products are all `Matrix` values.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_linalg::Matrix;
+///
+/// # fn main() -> Result<(), voltsense_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    ///
+    /// Zero-sized matrices (`rows == 0` or `cols == 0`) are permitted; they
+    /// behave as empty operands where that makes sense.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix with every entry set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidDimensions`] if the rows have unequal
+    /// lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != ncols {
+                return Err(LinalgError::InvalidDimensions {
+                    what: format!(
+                        "row {i} has length {}, expected {ncols}",
+                        row.len()
+                    ),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidDimensions`] if
+    /// `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidDimensions {
+                what: format!(
+                    "flat data has length {}, expected {rows}*{cols}={}",
+                    data.len(),
+                    rows * cols
+                ),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Builds a single-column matrix from a slice.
+    pub fn column_vector(values: &[f64]) -> Self {
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Builds a single-row matrix from a slice.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Matrix {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` if the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Immutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Sets column `j` from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()` or `values.len() != self.rows()`.
+    pub fn set_col(&mut self, j: usize, values: &[f64]) {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        assert_eq!(values.len(), self.rows, "column length mismatch");
+        for (i, &v) in values.iter().enumerate() {
+            self[(i, j)] = v;
+        }
+    }
+
+    /// Returns a new matrix containing only the rows whose indices appear in
+    /// `indices`, in the given order. Indices may repeat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (r, &i) in indices.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Returns a new matrix containing only the listed columns, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_cols(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, indices.len());
+        for i in 0..self.rows {
+            for (c, &j) in indices.iter().enumerate() {
+                out[(i, c)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses a cache-friendly i-k-j loop order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if
+    /// `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += aik * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `self * selfᵀ` (a symmetric `rows x rows` Gram matrix)
+    /// without materializing the transpose.
+    pub fn gram(&self) -> Matrix {
+        let n = self.rows;
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let s: f64 = self
+                    .row(i)
+                    .iter()
+                    .zip(self.row(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
+                out[(i, j)] = s;
+                out[(j, i)] = s;
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if v.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Entry-wise map, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Multiplies every entry by `s` in place.
+    pub fn scale_in_place(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Returns `self * s` as a new matrix.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Frobenius norm: `sqrt(Σ a_ij²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry, or 0 for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Smallest entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty.
+    pub fn min(&self) -> f64 {
+        assert!(!self.is_empty(), "min of empty matrix");
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty.
+    pub fn max(&self) -> f64 {
+        assert!(!self.is_empty(), "max of empty matrix");
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// `true` if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// `true` if `self` and `other` have the same shape and agree entry-wise
+    /// within absolute tolerance `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Horizontally concatenates `self` and `rhs` (`[self | rhs]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the row counts differ.
+    pub fn hstack(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hstack",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(rhs.row(i));
+        }
+        Ok(out)
+    }
+
+    /// Vertically concatenates `self` on top of `rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column counts differ.
+    pub fn vstack(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vstack",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&rhs.data);
+        Ok(Matrix {
+            rows: self.rows + rhs.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for i in 0..show_rows {
+            write!(f, "  [")?;
+            let show_cols = self.cols.min(8);
+            for j in 0..show_cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:10.4e}", self[(i, j)])?;
+            }
+            if self.cols > show_cols {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+macro_rules! elementwise_binop {
+    ($trait:ident, $method:ident, $op:tt, $name:literal) => {
+        impl $trait<&Matrix> for &Matrix {
+            type Output = Matrix;
+
+            /// # Panics
+            ///
+            /// Panics if the shapes differ.
+            fn $method(self, rhs: &Matrix) -> Matrix {
+                assert_eq!(
+                    self.shape(),
+                    rhs.shape(),
+                    concat!("shape mismatch in ", $name)
+                );
+                Matrix {
+                    rows: self.rows,
+                    cols: self.cols,
+                    data: self
+                        .data
+                        .iter()
+                        .zip(&rhs.data)
+                        .map(|(a, b)| a $op b)
+                        .collect(),
+                }
+            }
+        }
+    };
+}
+
+elementwise_binop!(Add, add, +, "add");
+elementwise_binop!(Sub, sub, -, "sub");
+
+impl AddAssign<&Matrix> for Matrix {
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch in sub_assign");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        self.scaled(s)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scaled(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_diag() {
+        let m = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_ragged_fails() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(err, LinalgError::InvalidDimensions { .. }));
+    }
+
+    #[test]
+    fn from_vec_wrong_len_fails() {
+        let err = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).unwrap_err();
+        assert!(matches!(err, LinalgError::InvalidDimensions { .. }));
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut m = sample();
+        assert_eq!(m[(1, 2)], 6.0);
+        m[(1, 2)] = 9.0;
+        assert_eq!(m[(1, 2)], 9.0);
+    }
+
+    #[test]
+    fn row_and_col_views() {
+        let m = sample();
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_entries() {
+        let t = sample().transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = sample();
+        let i3 = Matrix::identity(3);
+        assert_eq!(m.matmul(&i3).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expected = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap();
+        assert!(c.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let m = sample();
+        let err = m.matmul(&m).unwrap_err();
+        assert!(matches!(err, LinalgError::ShapeMismatch { op: "matmul", .. }));
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let m = sample();
+        let explicit = m.matmul(&m.transpose()).unwrap();
+        assert!(m.gram().approx_eq(&explicit, 1e-12));
+    }
+
+    #[test]
+    fn matvec_known() {
+        let m = sample();
+        let y = m.matvec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn matvec_wrong_len() {
+        let err = sample().matvec(&[1.0]).unwrap_err();
+        assert!(matches!(err, LinalgError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let m = sample();
+        let r = m.select_rows(&[1, 0, 1]);
+        assert_eq!(r.row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(r.row(2), &[4.0, 5.0, 6.0]);
+        let c = m.select_cols(&[2, 0]);
+        assert_eq!(c.row(0), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let m = sample();
+        let sum = &m + &m;
+        assert_eq!(sum[(0, 0)], 2.0);
+        let diff = &sum - &m;
+        assert!(diff.approx_eq(&m, 1e-15));
+        let neg = -&m;
+        assert_eq!(neg[(1, 2)], -6.0);
+        let scaled = &m * 2.0;
+        assert_eq!(scaled[(0, 1)], 4.0);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut m = sample();
+        let other = sample();
+        m += &other;
+        assert_eq!(m[(0, 0)], 2.0);
+        m -= &other;
+        assert!(m.approx_eq(&sample(), 1e-15));
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stacking() {
+        let m = sample();
+        let h = m.hstack(&m).unwrap();
+        assert_eq!(h.shape(), (2, 6));
+        assert_eq!(h.row(0), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        let v = m.vstack(&m).unwrap();
+        assert_eq!(v.shape(), (4, 3));
+        assert_eq!(v.row(3), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn stacking_mismatch() {
+        let m = sample();
+        let t = m.transpose();
+        assert!(m.hstack(&t).is_err());
+        assert!(m.vstack(&t).is_err());
+    }
+
+    #[test]
+    fn min_max_and_finite() {
+        let m = sample();
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.max(), 6.0);
+        assert_eq!(m.max_abs(), 6.0);
+        assert!(m.is_finite());
+        let mut bad = m.clone();
+        bad[(0, 0)] = f64::NAN;
+        assert!(!bad.is_finite());
+    }
+
+    #[test]
+    fn set_col_round_trip() {
+        let mut m = sample();
+        m.set_col(1, &[9.0, 8.0]);
+        assert_eq!(m.col(1), vec![9.0, 8.0]);
+    }
+
+    #[test]
+    fn debug_not_empty() {
+        let m = sample();
+        assert!(!format!("{m:?}").is_empty());
+    }
+
+    #[test]
+    fn empty_matrix_behaviour() {
+        let m = Matrix::zeros(0, 3);
+        assert!(m.is_empty());
+        assert_eq!(m.frobenius_norm(), 0.0);
+        assert_eq!(m.max_abs(), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+use crate::PowerGridError;
+
+/// Electrical parameters of the power grid.
+///
+/// Defaults are tuned so the paper-scale chip under the PARSEC-like suite
+/// exhibits realistic behaviour: nominal droops of a few tens of
+/// millivolts, with occasional excursions below the 0.85 V emergency
+/// threshold during power-gating di/dt events (the calibration test in
+/// `tests/calibration.rs` pins this down).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridConfig {
+    /// Resistance of one mesh segment between adjacent lattice nodes (Ω).
+    pub segment_resistance: f64,
+    /// Series resistance of one package pad branch (Ω).
+    pub pad_resistance: f64,
+    /// Series inductance of one package pad branch (nH). Zero disables the
+    /// inductor (purely resistive pads).
+    pub pad_inductance_nh: f64,
+    /// Physical spacing of the package pad array in micrometres (pads are
+    /// snapped to the nearest lattice node). Expressing this in µm rather
+    /// than lattice nodes keeps the pad density — and therefore the droop
+    /// depth — independent of the lattice resolution.
+    pub pad_spacing_um: f64,
+    /// Decoupling capacitance per function-area node (pF).
+    pub cap_fa_pf: f64,
+    /// Decoupling capacitance per blank-area node (pF).
+    pub cap_ba_pf: f64,
+    /// Ideal supply voltage (V).
+    pub vdd: f64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            segment_resistance: 0.16,
+            pad_resistance: 0.48,
+            pad_inductance_nh: 0.28,
+            pad_spacing_um: 1000.0,
+            cap_fa_pf: 45.0,
+            cap_ba_pf: 18.0,
+            vdd: 1.0,
+        }
+    }
+}
+
+impl GridConfig {
+    /// Variant tuned for the 2-core test chip
+    /// ([`voltsense_floorplan::ChipConfig::small_test`]): a small die
+    /// droops less through mesh spreading, so its package is given a
+    /// weaker pad network to land in the same voltage-emergency regime
+    /// (~10–30% of samples) as the paper-scale chip under the default
+    /// configuration. Pinned by the calibration tests.
+    pub fn small_test() -> Self {
+        GridConfig {
+            segment_resistance: 0.27,
+            pad_resistance: 0.84,
+            ..GridConfig::default()
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), PowerGridError> {
+        let ok = self.segment_resistance > 0.0
+            && self.pad_resistance > 0.0
+            && self.pad_inductance_nh >= 0.0
+            && self.pad_spacing_um > 0.0
+            && self.cap_fa_pf > 0.0
+            && self.cap_ba_pf > 0.0
+            && self.vdd > 0.0
+            && [
+                self.segment_resistance,
+                self.pad_resistance,
+                self.pad_inductance_nh,
+                self.cap_fa_pf,
+                self.cap_ba_pf,
+                self.vdd,
+            ]
+            .iter()
+            .all(|v| v.is_finite());
+        if ok {
+            Ok(())
+        } else {
+            Err(PowerGridError::InvalidConfig {
+                what: format!("grid config out of range: {self:?}"),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        GridConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        let mut c = GridConfig::default();
+        c.segment_resistance = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = GridConfig::default();
+        c.pad_spacing_um = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = GridConfig::default();
+        c.vdd = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = GridConfig::default();
+        c.pad_inductance_nh = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_inductance_is_allowed() {
+        let mut c = GridConfig::default();
+        c.pad_inductance_nh = 0.0;
+        c.validate().unwrap();
+    }
+}

@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+use voltsense_sparse::SparseError;
+
+/// Error type for power-grid modelling and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerGridError {
+    /// A grid parameter was out of range.
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        what: String,
+    },
+    /// A load vector or trace did not match the model.
+    ShapeMismatch {
+        /// Description of the failing input.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// The underlying sparse solver failed.
+    Solver(SparseError),
+}
+
+impl fmt::Display for PowerGridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerGridError::InvalidConfig { what } => {
+                write!(f, "invalid grid configuration: {what}")
+            }
+            PowerGridError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what}: expected length {expected}, got {actual}"),
+            PowerGridError::Solver(e) => write!(f, "sparse solver failed: {e}"),
+        }
+    }
+}
+
+impl Error for PowerGridError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PowerGridError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for PowerGridError {
+    fn from(e: SparseError) -> Self {
+        PowerGridError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_error_chains_source() {
+        let err = PowerGridError::from(SparseError::NotSquare { shape: (2, 3) });
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("sparse solver"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PowerGridError>();
+    }
+}

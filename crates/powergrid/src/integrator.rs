@@ -1,0 +1,57 @@
+//! Time-integration methods for the transient engine.
+
+/// Numerical integration scheme of the transient simulation.
+///
+/// Both schemes keep the system matrix constant (factor once, solve per
+/// step); they differ in accuracy and damping:
+///
+/// * [`Integration::BackwardEuler`] — first-order, L-stable; numerically
+///   damps ringing. The robust default.
+/// * [`Integration::Trapezoidal`] — second-order, A-stable; preserves
+///   oscillation amplitudes much better at the same timestep (at the cost
+///   of possible non-physical ringing on hard discontinuities).
+///
+/// The `transient` criterion bench and the integrator-accuracy test
+/// quantify the trade-off on the default grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integration {
+    /// First-order backward Euler (default).
+    #[default]
+    BackwardEuler,
+    /// Second-order trapezoidal rule.
+    Trapezoidal,
+}
+
+impl Integration {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Integration::BackwardEuler => "backward-euler",
+            Integration::Trapezoidal => "trapezoidal",
+        }
+    }
+}
+
+impl std::fmt::Display for Integration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_backward_euler() {
+        assert_eq!(Integration::default(), Integration::BackwardEuler);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(
+            Integration::BackwardEuler.to_string(),
+            Integration::Trapezoidal.to_string()
+        );
+    }
+}

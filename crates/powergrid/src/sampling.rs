@@ -1,0 +1,354 @@
+//! Voltage-map sampling: the bridge between the transient simulation and
+//! the statistical methodology.
+//!
+//! The paper's experiment step 4 samples full-chip voltage maps at random
+//! time points of each benchmark's transient simulation. [`sample_benchmark`]
+//! reproduces that: it drives a [`crate::TransientSimulator`] with a
+//! workload trace and snapshots all node voltages at a regular cadence
+//! after a warm-up period. [`SampledMaps`] then extracts the matrices the
+//! methodology consumes:
+//!
+//! * the **sensor-candidate matrix** `X` (one row per BA node), and
+//! * the **critical-node matrix** `F` (one row per block, at the block's
+//!   noise-critical node — the node with the worst observed droop).
+
+use voltsense_floorplan::{FunctionBlock, NodeId, NodeLattice};
+use voltsense_linalg::Matrix;
+use voltsense_workload::WorkloadTrace;
+
+use crate::{GridModel, PowerGridError, TransientSimulator};
+
+/// Sampling cadence configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleConfig {
+    /// Steps to simulate before the first snapshot (flushes the DC→AC
+    /// transient of the initial condition).
+    pub warmup_steps: usize,
+    /// Snapshot every `sample_every` steps (1 = every step, for trace
+    /// plots).
+    pub sample_every: usize,
+    /// Stop after this many snapshots (`None` = run the whole trace).
+    pub max_samples: Option<usize>,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig {
+            warmup_steps: 200,
+            sample_every: 7,
+            max_samples: None,
+        }
+    }
+}
+
+/// Full-chip voltage maps collected from one benchmark's transient run.
+#[derive(Debug, Clone)]
+pub struct SampledMaps {
+    /// `nodes x samples` voltages (V).
+    maps: Matrix,
+    /// Simulation step index of each snapshot.
+    sample_steps: Vec<usize>,
+    dt_ns: f64,
+}
+
+impl SampledMaps {
+    /// Number of snapshots.
+    pub fn num_samples(&self) -> usize {
+        self.maps.cols()
+    }
+
+    /// Number of grid nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.maps.rows()
+    }
+
+    /// Timestep of the underlying simulation (ns).
+    pub fn dt_ns(&self) -> f64 {
+        self.dt_ns
+    }
+
+    /// Simulation step index of each snapshot.
+    pub fn sample_steps(&self) -> &[usize] {
+        &self.sample_steps
+    }
+
+    /// The raw `nodes x samples` voltage matrix.
+    pub fn maps(&self) -> &Matrix {
+        &self.maps
+    }
+
+    /// Voltage waveform of one node across the snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn node_waveform(&self, node: NodeId) -> &[f64] {
+        self.maps.row(node.0)
+    }
+
+    /// The sensor-candidate data matrix `X`: one row per blank-area node
+    /// (in `lattice.candidate_sites()` order), one column per snapshot.
+    pub fn candidate_matrix(&self, lattice: &NodeLattice) -> Matrix {
+        let rows: Vec<usize> = lattice.candidate_sites().iter().map(|n| n.0).collect();
+        self.maps.select_rows(&rows)
+    }
+
+    /// Chooses each block's noise-critical node: the lattice node inside
+    /// the block with the lowest voltage observed anywhere in the sampling
+    /// period (the paper's "worst noise during a sampling simulation
+    /// period").
+    pub fn critical_nodes(&self, lattice: &NodeLattice, blocks: &[FunctionBlock]) -> Vec<NodeId> {
+        blocks
+            .iter()
+            .map(|b| {
+                let nodes = lattice.nodes_in_block(b.id());
+                *nodes
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        let min_a = min_of(self.maps.row(a.0));
+                        let min_b = min_of(self.maps.row(b.0));
+                        min_a.partial_cmp(&min_b).expect("voltages are finite")
+                    })
+                    .expect("every block has lattice nodes")
+            })
+            .collect()
+    }
+
+    /// The critical-node data matrix `F`: row `k` is the voltage at block
+    /// `k`'s critical node across all snapshots.
+    pub fn critical_matrix(&self, critical_nodes: &[NodeId]) -> Matrix {
+        let rows: Vec<usize> = critical_nodes.iter().map(|n| n.0).collect();
+        self.maps.select_rows(&rows)
+    }
+
+    /// Lowest voltage anywhere on the chip across all snapshots.
+    pub fn global_min(&self) -> f64 {
+        min_of(self.maps.as_slice())
+    }
+}
+
+fn min_of(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Runs `trace` through a transient simulation of `model` and snapshots
+/// voltage maps per `config`.
+///
+/// The simulator is initialized to the DC operating point of the trace's
+/// first time step, then stepped through the whole trace.
+///
+/// # Errors
+///
+/// * [`PowerGridError::ShapeMismatch`] if the trace's block count differs
+///   from the model's.
+/// * [`PowerGridError::InvalidConfig`] if `sample_every == 0` or the warmup
+///   exceeds the trace.
+/// * [`PowerGridError::Solver`] on numerical failure.
+pub fn sample_benchmark(
+    model: &GridModel,
+    trace: &WorkloadTrace,
+    config: &SampleConfig,
+) -> Result<SampledMaps, PowerGridError> {
+    if trace.num_blocks() != model.num_blocks() {
+        return Err(PowerGridError::ShapeMismatch {
+            what: "trace block count",
+            expected: model.num_blocks(),
+            actual: trace.num_blocks(),
+        });
+    }
+    if config.sample_every == 0 {
+        return Err(PowerGridError::InvalidConfig {
+            what: "sample_every must be at least 1".into(),
+        });
+    }
+    let n_steps = trace.num_steps();
+    if config.warmup_steps >= n_steps {
+        return Err(PowerGridError::InvalidConfig {
+            what: format!(
+                "warmup ({}) must be shorter than the trace ({n_steps} steps)",
+                config.warmup_steps
+            ),
+        });
+    }
+
+    let initial: Vec<f64> = (0..trace.num_blocks()).map(|b| trace.current(b, 0)).collect();
+    let mut sim = TransientSimulator::new(model, trace.dt_ns(), &initial)?;
+
+    let post_warmup = n_steps - config.warmup_steps;
+    let budget = post_warmup / config.sample_every + 1;
+    let n_samples = config.max_samples.map_or(budget, |m| m.min(budget));
+
+    let mut maps = Matrix::zeros(model.num_nodes(), n_samples);
+    let mut sample_steps = Vec::with_capacity(n_samples);
+    let mut currents = vec![0.0; trace.num_blocks()];
+    let mut collected = 0;
+    for step in 0..n_steps {
+        for (b, c) in currents.iter_mut().enumerate() {
+            *c = trace.current(b, step);
+        }
+        let v = sim.step(&currents)?;
+        if step >= config.warmup_steps
+            && (step - config.warmup_steps) % config.sample_every == 0
+            && collected < n_samples
+        {
+            for (node, &vn) in v.iter().enumerate() {
+                maps[(node, collected)] = vn;
+            }
+            sample_steps.push(step);
+            collected += 1;
+            if collected == n_samples {
+                break;
+            }
+        }
+    }
+    // Trim if the trace ended before the budget filled (can happen with
+    // max_samples > available steps).
+    let maps = if collected < n_samples {
+        maps.select_cols(&(0..collected).collect::<Vec<_>>())
+    } else {
+        maps
+    };
+    sample_steps.truncate(collected);
+
+    Ok(SampledMaps {
+        maps,
+        sample_steps,
+        dt_ns: trace.dt_ns(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GridConfig;
+    use voltsense_floorplan::{ChipConfig, ChipFloorplan, NodeSite};
+    use voltsense_workload::{parsec_like_suite, TraceConfig};
+
+    fn setup() -> (ChipFloorplan, GridModel, WorkloadTrace) {
+        let chip = ChipFloorplan::new(&ChipConfig::small_test()).unwrap();
+        let model = GridModel::build(&chip, &GridConfig::default()).unwrap();
+        let trace = WorkloadTrace::generate(
+            &parsec_like_suite()[0],
+            chip.blocks(),
+            &TraceConfig {
+                duration_ns: 800.0,
+                ..TraceConfig::default()
+            },
+        )
+        .unwrap();
+        (chip, model, trace)
+    }
+
+    #[test]
+    fn sampling_cadence_and_shape() {
+        let (_, model, trace) = setup();
+        let cfg = SampleConfig {
+            warmup_steps: 100,
+            sample_every: 10,
+            max_samples: Some(50),
+        };
+        let maps = sample_benchmark(&model, &trace, &cfg).unwrap();
+        assert_eq!(maps.num_samples(), 50);
+        assert_eq!(maps.num_nodes(), model.num_nodes());
+        assert_eq!(maps.sample_steps()[0], 100);
+        assert_eq!(maps.sample_steps()[1], 110);
+    }
+
+    #[test]
+    fn voltages_are_physical() {
+        let (_, model, trace) = setup();
+        let maps = sample_benchmark(&model, &trace, &SampleConfig::default()).unwrap();
+        for &v in maps.maps().as_slice() {
+            assert!(v > 0.4 && v <= 1.0 + 1e-9, "implausible voltage {v}");
+        }
+        assert!(maps.global_min() < 1.0);
+    }
+
+    #[test]
+    fn candidate_matrix_rows_match_candidates() {
+        let (chip, model, trace) = setup();
+        let maps = sample_benchmark(&model, &trace, &SampleConfig::default()).unwrap();
+        let x = maps.candidate_matrix(chip.lattice());
+        assert_eq!(x.rows(), chip.lattice().candidate_sites().len());
+        assert_eq!(x.cols(), maps.num_samples());
+        // Spot check: row 0 equals the waveform of the first candidate.
+        let first = chip.lattice().candidate_sites()[0];
+        assert_eq!(x.row(0), maps.node_waveform(first));
+    }
+
+    #[test]
+    fn critical_nodes_are_inside_their_block() {
+        let (chip, model, trace) = setup();
+        let maps = sample_benchmark(&model, &trace, &SampleConfig::default()).unwrap();
+        let crit = maps.critical_nodes(chip.lattice(), chip.blocks());
+        assert_eq!(crit.len(), chip.blocks().len());
+        for (b, nid) in chip.blocks().iter().zip(&crit) {
+            assert_eq!(
+                chip.lattice().site(*nid),
+                NodeSite::FunctionArea(b.id()),
+                "critical node of {} not inside it",
+                b.id()
+            );
+        }
+    }
+
+    #[test]
+    fn critical_node_has_block_worst_min() {
+        let (chip, model, trace) = setup();
+        let maps = sample_benchmark(&model, &trace, &SampleConfig::default()).unwrap();
+        let crit = maps.critical_nodes(chip.lattice(), chip.blocks());
+        for (b, nid) in chip.blocks().iter().zip(&crit) {
+            let crit_min = maps
+                .node_waveform(*nid)
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            for other in chip.lattice().nodes_in_block(b.id()) {
+                let other_min = maps
+                    .node_waveform(*other)
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min);
+                assert!(crit_min <= other_min + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn critical_matrix_selects_rows() {
+        let (chip, model, trace) = setup();
+        let maps = sample_benchmark(&model, &trace, &SampleConfig::default()).unwrap();
+        let crit = maps.critical_nodes(chip.lattice(), chip.blocks());
+        let f = maps.critical_matrix(&crit);
+        assert_eq!(f.rows(), chip.blocks().len());
+        assert_eq!(f.row(0), maps.node_waveform(crit[0]));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (_, model, trace) = setup();
+        let cfg = SampleConfig {
+            sample_every: 0,
+            ..SampleConfig::default()
+        };
+        assert!(sample_benchmark(&model, &trace, &cfg).is_err());
+        let cfg = SampleConfig {
+            warmup_steps: 10_000,
+            ..SampleConfig::default()
+        };
+        assert!(sample_benchmark(&model, &trace, &cfg).is_err());
+    }
+
+    #[test]
+    fn every_step_sampling_gives_contiguous_trace() {
+        let (_, model, trace) = setup();
+        let cfg = SampleConfig {
+            warmup_steps: 0,
+            sample_every: 1,
+            max_samples: Some(100),
+        };
+        let maps = sample_benchmark(&model, &trace, &cfg).unwrap();
+        assert_eq!(maps.num_samples(), 100);
+        assert_eq!(maps.sample_steps(), (0..100).collect::<Vec<_>>());
+    }
+}

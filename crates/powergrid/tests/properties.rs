@@ -1,0 +1,142 @@
+//! Property-based tests of the power-grid physics invariants.
+
+use proptest::prelude::*;
+use voltsense_floorplan::{ChipConfig, ChipFloorplan};
+use voltsense_powergrid::{GridConfig, GridModel, Integration, TransientSimulator};
+
+fn grid_config() -> impl Strategy<Value = GridConfig> {
+    (0.05..0.5f64, 0.2..1.5f64, 0.0..0.4f64, 500.0..1500.0f64).prop_map(
+        |(seg, pad_r, pad_l, spacing)| GridConfig {
+            segment_resistance: seg,
+            pad_resistance: pad_r,
+            pad_inductance_nh: pad_l,
+            pad_spacing_um: spacing,
+            ..GridConfig::default()
+        },
+    )
+}
+
+fn chip() -> ChipFloorplan {
+    ChipFloorplan::new(&ChipConfig::small_test()).expect("chip builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dc_voltages_bounded_by_vdd(cfg in grid_config(), scale in 0.0..1.5f64) {
+        let chip = chip();
+        let model = GridModel::build(&chip, &cfg).expect("model builds");
+        let currents: Vec<f64> = chip
+            .blocks()
+            .iter()
+            .map(|b| scale * b.nominal_power())
+            .collect();
+        let v = model.dc_solve(&currents).expect("dc solve");
+        for &x in &v {
+            // Current sinks can only pull the passive network *down*
+            // (an ideal-sink linear model may legitimately go negative
+            // under overload, so only the upper bound is a physical
+            // invariant).
+            prop_assert!(x <= cfg.vdd + 1e-9, "voltage above VDD: {}", x);
+        }
+        // KCL at the boundary: total pad current equals total load.
+        let total_load: f64 = currents.iter().sum();
+        let loads = model.scatter_loads(&currents).expect("scatter");
+        let total_scattered: f64 = loads.iter().sum();
+        prop_assert!((total_load - total_scattered).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dc_droop_monotone_in_load(cfg in grid_config()) {
+        let chip = chip();
+        let model = GridModel::build(&chip, &cfg).expect("model builds");
+        let half: Vec<f64> = chip.blocks().iter().map(|b| 0.5 * b.nominal_power()).collect();
+        let full: Vec<f64> = chip.blocks().iter().map(|b| b.nominal_power()).collect();
+        let v_half = model.dc_solve(&half).expect("dc");
+        let v_full = model.dc_solve(&full).expect("dc");
+        for (h, f) in v_half.iter().zip(&v_full) {
+            prop_assert!(f <= &(h + 1e-9), "more load must droop more");
+        }
+    }
+
+    #[test]
+    fn dc_superposition_holds(cfg in grid_config()) {
+        // The resistive network is linear: droop(a + b) = droop(a) + droop(b).
+        let chip = chip();
+        let model = GridModel::build(&chip, &cfg).expect("model builds");
+        let n = chip.blocks().len();
+        let mut load_a = vec![0.0; n];
+        let mut load_b = vec![0.0; n];
+        for (i, b) in chip.blocks().iter().enumerate() {
+            if i % 2 == 0 {
+                load_a[i] = b.nominal_power();
+            } else {
+                load_b[i] = b.nominal_power();
+            }
+        }
+        let sum: Vec<f64> = load_a.iter().zip(&load_b).map(|(a, b)| a + b).collect();
+        let va = model.dc_solve(&load_a).expect("dc");
+        let vb = model.dc_solve(&load_b).expect("dc");
+        let vs = model.dc_solve(&sum).expect("dc");
+        for ((a, b), s) in va.iter().zip(&vb).zip(&vs) {
+            let droop_sum = (cfg.vdd - a) + (cfg.vdd - b);
+            let droop_direct = cfg.vdd - s;
+            prop_assert!((droop_sum - droop_direct).abs() < 1e-6,
+                "superposition violated: {} vs {}", droop_sum, droop_direct);
+        }
+    }
+
+    #[test]
+    fn transient_settles_to_dc_under_constant_load(cfg in grid_config()) {
+        let chip = chip();
+        let model = GridModel::build(&chip, &cfg).expect("model builds");
+        let currents: Vec<f64> = chip
+            .blocks()
+            .iter()
+            .map(|b| 0.6 * b.nominal_power())
+            .collect();
+        // Initialize AT the loaded operating point: stepping with the same
+        // load must stay there for any integration scheme.
+        for method in [Integration::BackwardEuler, Integration::Trapezoidal] {
+            let mut sim =
+                TransientSimulator::with_method(&model, 1.0, &currents, method)
+                    .expect("sim");
+            let dc = model.dc_solve(&currents).expect("dc");
+            for _ in 0..50 {
+                sim.step(&currents).expect("step");
+            }
+            for (v, d) in sim.voltages().iter().zip(&dc) {
+                prop_assert!((v - d).abs() < 1e-6,
+                    "{method}: drifted from operating point: {} vs {}", v, d);
+            }
+        }
+    }
+
+    #[test]
+    fn pad_density_lowers_droop(seg in 0.1..0.4f64) {
+        let chip = chip();
+        let sparse_pads = GridConfig {
+            segment_resistance: seg,
+            pad_spacing_um: 1400.0,
+            ..GridConfig::default()
+        };
+        let dense_pads = GridConfig {
+            segment_resistance: seg,
+            pad_spacing_um: 600.0,
+            ..GridConfig::default()
+        };
+        let currents: Vec<f64> = chip.blocks().iter().map(|b| b.nominal_power()).collect();
+        let v_sparse = GridModel::build(&chip, &sparse_pads)
+            .expect("model")
+            .dc_solve(&currents)
+            .expect("dc");
+        let v_dense = GridModel::build(&chip, &dense_pads)
+            .expect("model")
+            .dc_solve(&currents)
+            .expect("dc");
+        let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert!(min(&v_dense) >= min(&v_sparse) - 1e-9,
+            "denser pads must not deepen the worst droop");
+    }
+}

@@ -1,0 +1,291 @@
+//! Jacobi-preconditioned conjugate gradient.
+//!
+//! CG is the cross-check for [`crate::EnvelopeCholesky`] (two independent
+//! solvers agreeing is a strong correctness signal for the power-grid
+//! substrate) and the method of choice for one-off solves where paying for
+//! a factorization is not worth it.
+
+use voltsense_linalg::vec_ops;
+
+use crate::ic::IncompleteCholesky;
+use crate::{CsrMatrix, SparseError};
+
+/// Preconditioner choice for [`solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Preconditioner {
+    /// Diagonal (Jacobi) scaling — cheap, always applicable.
+    #[default]
+    Jacobi,
+    /// Zero-fill incomplete Cholesky ([`crate::IncompleteCholesky`]) —
+    /// stronger on grid matrices at a small setup cost.
+    IncompleteCholesky,
+}
+
+/// Options for [`solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgOptions {
+    /// Maximum number of iterations; defaults to `10 * n`.
+    pub max_iterations: Option<usize>,
+    /// Relative residual tolerance `‖b − Ax‖ / ‖b‖`; default `1e-10`.
+    pub tolerance: f64,
+    /// Preconditioner (default Jacobi).
+    pub preconditioner: Preconditioner,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            max_iterations: None,
+            tolerance: 1e-10,
+            preconditioner: Preconditioner::Jacobi,
+        }
+    }
+}
+
+/// Outcome of a converged CG solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub relative_residual: f64,
+}
+
+/// Solves `A x = b` for a sparse SPD matrix by Jacobi-preconditioned CG.
+///
+/// # Errors
+///
+/// * [`SparseError::NotSquare`] if `a` is not square.
+/// * [`SparseError::ShapeMismatch`] if `b.len() != n`.
+/// * [`SparseError::NonFinite`] if `b` has non-finite entries or the
+///   iteration produces them (indicating an indefinite matrix).
+/// * [`SparseError::DidNotConverge`] if the tolerance is not reached.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_sparse::{TripletMatrix, cg};
+///
+/// # fn main() -> Result<(), voltsense_sparse::SparseError> {
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.add(0, 0, 2.0);
+/// t.add(1, 1, 2.0);
+/// let sol = cg::solve(&t.to_csr(), &[4.0, 6.0], &cg::CgOptions::default())?;
+/// assert!((sol.x[0] - 2.0).abs() < 1e-9);
+/// assert!((sol.x[1] - 3.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve(a: &CsrMatrix, b: &[f64], options: &CgOptions) -> Result<CgSolution, SparseError> {
+    let n = a.rows();
+    if a.rows() != a.cols() {
+        return Err(SparseError::NotSquare {
+            shape: (a.rows(), a.cols()),
+        });
+    }
+    if b.len() != n {
+        return Err(SparseError::ShapeMismatch {
+            op: "cg rhs",
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    if b.iter().any(|v| !v.is_finite()) {
+        return Err(SparseError::NonFinite { what: "cg rhs" });
+    }
+    let b_norm = vec_ops::norm2(b);
+    if b_norm == 0.0 {
+        return Ok(CgSolution {
+            x: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+        });
+    }
+    let max_iter = options.max_iterations.unwrap_or(10 * n.max(1));
+
+    // Preconditioner setup.
+    let ic = match options.preconditioner {
+        Preconditioner::IncompleteCholesky => Some(IncompleteCholesky::factor(a)?),
+        Preconditioner::Jacobi => None,
+    };
+    // Jacobi fallback data: M = diag(A); identity where the diagonal is
+    // non-positive (should not happen for SPD input).
+    let inv_diag: Vec<f64> = a
+        .diagonal()
+        .into_iter()
+        .map(|d| if d > 0.0 { 1.0 / d } else { 1.0 })
+        .collect();
+    let precondition = |r: &[f64], z: &mut [f64]| match &ic {
+        Some(ic) => ic.apply(r, z),
+        None => {
+            for ((zi, ri), di) in z.iter_mut().zip(r).zip(&inv_diag) {
+                *zi = ri * di;
+            }
+        }
+    };
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = vec![0.0; n];
+    precondition(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = vec_ops::dot(&r, &z);
+
+    for iter in 0..max_iter {
+        let ap = a.matvec(&p)?;
+        let pap = vec_ops::dot(&p, &ap);
+        if !pap.is_finite() || pap <= 0.0 {
+            return Err(SparseError::NonFinite {
+                what: "cg curvature (matrix not SPD?)",
+            });
+        }
+        let alpha = rz / pap;
+        vec_ops::axpy(alpha, &p, &mut x);
+        vec_ops::axpy(-alpha, &ap, &mut r);
+        let rel = vec_ops::norm2(&r) / b_norm;
+        if rel <= options.tolerance {
+            return Ok(CgSolution {
+                x,
+                iterations: iter + 1,
+                relative_residual: rel,
+            });
+        }
+        precondition(&r, &mut z);
+        let rz_new = vec_ops::dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for (pi, zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+    }
+    Err(SparseError::DidNotConverge {
+        iterations: max_iter,
+        relative_residual: vec_ops::norm2(&r) / b_norm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EnvelopeCholesky, TripletMatrix};
+
+    fn grid_spd(w: usize, h: usize) -> CsrMatrix {
+        let n = w * h;
+        let mut t = TripletMatrix::new(n, n);
+        for y in 0..h {
+            for x in 0..w {
+                let i = y * w + x;
+                if x + 1 < w {
+                    t.stamp_conductance(i, i + 1, 2.0);
+                }
+                if y + 1 < h {
+                    t.stamp_conductance(i, i + w, 2.0);
+                }
+                t.stamp_grounded_conductance(i, 0.01);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn ic_preconditioner_cuts_iterations() {
+        let a = grid_spd(16, 16);
+        let b: Vec<f64> = (0..256).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let jacobi = solve(&a, &b, &CgOptions::default()).unwrap();
+        let ic = solve(
+            &a,
+            &b,
+            &CgOptions {
+                preconditioner: Preconditioner::IncompleteCholesky,
+                ..CgOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            ic.iterations * 2 < jacobi.iterations,
+            "IC(0) {} iters vs Jacobi {}",
+            ic.iterations,
+            jacobi.iterations
+        );
+        for (p, q) in ic.x.iter().zip(&jacobi.x) {
+            assert!((p - q).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn agrees_with_direct_solver() {
+        let a = grid_spd(7, 5);
+        let b: Vec<f64> = (0..35).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let cg_sol = solve(&a, &b, &CgOptions::default()).unwrap();
+        let direct = EnvelopeCholesky::factor(&a).unwrap().solve(&b).unwrap();
+        for (p, q) in cg_sol.x.iter().zip(&direct) {
+            assert!((p - q).abs() < 1e-6, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = grid_spd(3, 3);
+        let sol = solve(&a, &vec![0.0; 9], &CgOptions::default()).unwrap();
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn diagonal_system_converges_fast() {
+        let mut t = TripletMatrix::new(4, 4);
+        for i in 0..4 {
+            t.add(i, i, (i + 1) as f64);
+        }
+        let sol = solve(&t.to_csr(), &[1.0, 2.0, 3.0, 4.0], &CgOptions::default()).unwrap();
+        // Jacobi preconditioner solves a diagonal system in one iteration.
+        assert!(sol.iterations <= 2);
+        for (i, v) in sol.x.iter().enumerate() {
+            let _ = i;
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let a = grid_spd(10, 10);
+        let b = vec![1.0; 100];
+        let opts = CgOptions {
+            max_iterations: Some(1),
+            tolerance: 1e-14,
+            ..CgOptions::default()
+        };
+        assert!(matches!(
+            solve(&a, &b, &opts),
+            Err(SparseError::DidNotConverge { iterations: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn non_spd_detected() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 0, -1.0);
+        t.add(1, 1, -1.0);
+        let res = solve(&t.to_csr(), &[1.0, 1.0], &CgOptions::default());
+        assert!(matches!(res, Err(SparseError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = grid_spd(2, 2);
+        assert!(solve(&a, &[1.0], &CgOptions::default()).is_err());
+        let rect = TripletMatrix::new(2, 3).to_csr();
+        assert!(solve(&rect, &[1.0, 1.0, 1.0], &CgOptions::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_nan_rhs() {
+        let a = grid_spd(2, 2);
+        assert!(matches!(
+            solve(&a, &[f64::NAN, 0.0, 0.0, 0.0], &CgOptions::default()),
+            Err(SparseError::NonFinite { .. })
+        ));
+    }
+}

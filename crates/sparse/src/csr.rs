@@ -1,0 +1,362 @@
+use voltsense_linalg::Matrix;
+
+use crate::SparseError;
+
+/// A compressed-sparse-row matrix.
+///
+/// Construct via [`crate::TripletMatrix::to_csr`] (circuit stamping) or
+/// [`CsrMatrix::from_raw_parts`]. Column indices within each row are sorted
+/// and unique — an invariant validated at construction and relied on by the
+/// factorization and ordering code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from its raw arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if the arrays are inconsistent
+    /// (wrong `row_ptr` length, non-monotone `row_ptr`, `col_idx`/`values`
+    /// length mismatch), or [`SparseError::IndexOutOfBounds`] if a column
+    /// index exceeds `cols` or indices within a row are not strictly
+    /// increasing.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        if row_ptr.len() != rows + 1 {
+            return Err(SparseError::ShapeMismatch {
+                op: "csr row_ptr length",
+                expected: rows + 1,
+                actual: row_ptr.len(),
+            });
+        }
+        if col_idx.len() != values.len() {
+            return Err(SparseError::ShapeMismatch {
+                op: "csr col_idx/values length",
+                expected: col_idx.len(),
+                actual: values.len(),
+            });
+        }
+        if *row_ptr.last().expect("non-empty row_ptr") != col_idx.len() {
+            return Err(SparseError::ShapeMismatch {
+                op: "csr row_ptr terminator",
+                expected: col_idx.len(),
+                actual: *row_ptr.last().expect("non-empty row_ptr"),
+            });
+        }
+        for i in 0..rows {
+            if row_ptr[i] > row_ptr[i + 1] {
+                return Err(SparseError::ShapeMismatch {
+                    op: "csr row_ptr monotonicity",
+                    expected: row_ptr[i],
+                    actual: row_ptr[i + 1],
+                });
+            }
+            let mut prev: Option<usize> = None;
+            for &c in &col_idx[row_ptr[i]..row_ptr[i + 1]] {
+                if c >= cols || prev.is_some_and(|p| p >= c) {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: i,
+                        col: c,
+                        shape: (rows, cols),
+                    });
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the entry at `(row, col)`, `0.0` if not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "csr get out of bounds");
+        let range = self.row_ptr[row]..self.row_ptr[row + 1];
+        match self.col_idx[range.clone()].binary_search(&col) {
+            Ok(pos) => self.values[range.start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterator over `(col, value)` pairs of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_iter(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(row < self.rows, "csr row out of bounds");
+        let range = self.row_ptr[row]..self.row_ptr[row + 1];
+        self.col_idx[range.clone()]
+            .iter()
+            .zip(&self.values[range])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Matrix-vector product `y = A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, SparseError> {
+        if x.len() != self.cols {
+            return Err(SparseError::ShapeMismatch {
+                op: "csr matvec",
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let mut s = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                s += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = s;
+        }
+        Ok(y)
+    }
+
+    /// Diagonal of the matrix (zeros where no entry is stored).
+    ///
+    /// Only meaningful for square matrices but defined for any shape
+    /// (length `min(rows, cols)`).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+    }
+
+    /// `true` if the matrix is structurally and numerically symmetric within
+    /// absolute tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                if (v - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies a symmetric permutation: returns `B` with
+    /// `B[i][j] = A[perm[i]][perm[j]]` (i.e. `perm` maps new index → old
+    /// index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for non-square input or
+    /// [`SparseError::ShapeMismatch`] if `perm.len() != n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn permute_symmetric(&self, perm: &[usize]) -> Result<CsrMatrix, SparseError> {
+        if self.rows != self.cols {
+            return Err(SparseError::NotSquare {
+                shape: (self.rows, self.cols),
+            });
+        }
+        if perm.len() != self.rows {
+            return Err(SparseError::ShapeMismatch {
+                op: "permutation length",
+                expected: self.rows,
+                actual: perm.len(),
+            });
+        }
+        let n = self.rows;
+        // inv[old] = new
+        let mut inv = vec![usize::MAX; n];
+        for (new, &old) in perm.iter().enumerate() {
+            assert!(old < n && inv[old] == usize::MAX, "perm is not a permutation");
+            inv[old] = new;
+        }
+        let mut t = crate::TripletMatrix::with_capacity(n, n, self.nnz());
+        for old_i in 0..n {
+            for (old_j, v) in self.row_iter(old_i) {
+                t.add(inv[old_i], inv[old_j], v);
+            }
+        }
+        Ok(t.to_csr())
+    }
+
+    /// Converts to a dense [`Matrix`] — for tests and small systems only.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Lower bandwidth: `max_i (i − min_j stored(i,j))` over non-empty rows.
+    pub fn lower_bandwidth(&self) -> usize {
+        let mut bw = 0;
+        for i in 0..self.rows {
+            if let Some((j, _)) = self.row_iter(i).next() {
+                if j < i {
+                    bw = bw.max(i - j);
+                }
+            }
+        }
+        bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn sample() -> CsrMatrix {
+        // [2 -1  0]
+        // [-1 2 -1]
+        // [0 -1  2]
+        let mut t = TripletMatrix::new(3, 3);
+        for i in 0..3 {
+            t.add(i, i, 2.0);
+        }
+        t.stamp_conductance(0, 1, 0.0); // no-op (zero skipped)
+        t.add(0, 1, -1.0);
+        t.add(1, 0, -1.0);
+        t.add(1, 2, -1.0);
+        t.add(2, 1, -1.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn get_stored_and_missing() {
+        let a = sample();
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.nnz(), 7);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = sample();
+        let y = a.matvec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn matvec_wrong_len() {
+        let a = sample();
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn diagonal_and_symmetry() {
+        let a = sample();
+        assert_eq!(a.diagonal(), vec![2.0, 2.0, 2.0]);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn asymmetric_detected() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 1, 1.0);
+        let a = t.to_csr();
+        assert!(!a.is_symmetric(1e-15));
+    }
+
+    #[test]
+    fn to_dense_round_trip() {
+        let a = sample();
+        let d = a.to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(d[(i, j)], a.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn permute_symmetric_reverses() {
+        let a = sample();
+        let perm = [2usize, 1, 0];
+        let b = a.permute_symmetric(&perm).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(b.get(i, j), a.get(perm[i], perm[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn permute_rejects_bad_len() {
+        let a = sample();
+        assert!(a.permute_symmetric(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn from_raw_parts_validation() {
+        // Bad row_ptr length.
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 0], vec![], vec![]).is_err());
+        // Non-monotone row_ptr.
+        assert!(
+            CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err()
+        );
+        // Column out of range.
+        assert!(CsrMatrix::from_raw_parts(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
+        // Unsorted columns within a row.
+        assert!(CsrMatrix::from_raw_parts(
+            1,
+            3,
+            vec![0, 2],
+            vec![2, 0],
+            vec![1.0, 1.0]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn lower_bandwidth_tridiagonal() {
+        assert_eq!(sample().lower_bandwidth(), 1);
+    }
+
+    #[test]
+    fn row_iter_sorted() {
+        let a = sample();
+        let cols: Vec<usize> = a.row_iter(1).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![0, 1, 2]);
+    }
+}

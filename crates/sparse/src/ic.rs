@@ -1,0 +1,268 @@
+//! Zero-fill incomplete Cholesky factorization, IC(0).
+//!
+//! IC(0) computes an approximate factor `L ≈ chol(A)` restricted to `A`'s
+//! own sparsity pattern. For the M-matrices produced by power-grid
+//! stamping it exists and is an excellent CG preconditioner — typically a
+//! several-fold iteration reduction over Jacobi at negligible setup cost
+//! (quantified by the `sparse_cholesky` bench suite).
+
+use crate::{CsrMatrix, SparseError};
+
+/// An IC(0) factor, usable as a preconditioner via
+/// [`IncompleteCholesky::apply`].
+#[derive(Debug, Clone)]
+pub struct IncompleteCholesky {
+    n: usize,
+    /// Lower-triangular rows (diagonal last), CSR-like.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl IncompleteCholesky {
+    /// Factors the lower triangle of a sparse SPD matrix on its own
+    /// pattern.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::NotSquare`] for non-square input.
+    /// * [`SparseError::NotPositiveDefinite`] if a pivot becomes
+    ///   non-positive (possible for SPD matrices that are far from
+    ///   M-matrices; not for resistive-grid stamps).
+    pub fn factor(a: &CsrMatrix) -> Result<Self, SparseError> {
+        if a.rows() != a.cols() {
+            return Err(SparseError::NotSquare {
+                shape: (a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        // Extract the lower triangle (columns ascending, diagonal last in
+        // each row's slice since CSR columns are sorted).
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..n {
+            for (j, v) in a.row_iter(i) {
+                if j <= i {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr[i + 1] = col_idx.len();
+        }
+
+        // IKJ-style factorization restricted to the pattern.
+        for i in 0..n {
+            let (start_i, end_i) = (row_ptr[i], row_ptr[i + 1]);
+            for idx in start_i..end_i {
+                let j = col_idx[idx];
+                // Dot of row i and row j over shared columns < j.
+                let mut s = values[idx];
+                {
+                    let (mut pi, mut pj) = (start_i, row_ptr[j]);
+                    let (ei, ej) = (end_i, row_ptr[j + 1]);
+                    while pi < ei && pj < ej {
+                        let (ci, cj) = (col_idx[pi], col_idx[pj]);
+                        if ci >= j || cj >= j {
+                            break;
+                        }
+                        match ci.cmp(&cj) {
+                            std::cmp::Ordering::Equal => {
+                                s -= values[pi] * values[pj];
+                                pi += 1;
+                                pj += 1;
+                            }
+                            std::cmp::Ordering::Less => pi += 1,
+                            std::cmp::Ordering::Greater => pj += 1,
+                        }
+                    }
+                }
+                if j < i {
+                    // Off-diagonal: divide by the pivot of row j.
+                    let djj = values[row_ptr[j + 1] - 1];
+                    values[idx] = s / djj;
+                } else {
+                    // Diagonal (last entry of the row).
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(SparseError::NotPositiveDefinite {
+                            index: i,
+                            pivot: s,
+                        });
+                    }
+                    values[idx] = s.sqrt();
+                }
+            }
+        }
+        Ok(IncompleteCholesky {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Applies the preconditioner: solves `L Lᵀ z = r` in place of `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r.len() != z.len() != self.dim()`.
+    pub fn apply(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.n, "rhs length mismatch");
+        assert_eq!(z.len(), self.n, "solution length mismatch");
+        z.copy_from_slice(r);
+        // Forward: L y = r (diagonal is the last entry of each row).
+        for i in 0..self.n {
+            let (start, end) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            let mut s = z[i];
+            for idx in start..end - 1 {
+                s -= self.values[idx] * z[self.col_idx[idx]];
+            }
+            z[i] = s / self.values[end - 1];
+        }
+        // Backward: Lᵀ z = y, column-oriented over the row storage.
+        for i in (0..self.n).rev() {
+            let (start, end) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            let zi = z[i] / self.values[end - 1];
+            z[i] = zi;
+            for idx in start..end - 1 {
+                z[self.col_idx[idx]] -= self.values[idx] * zi;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn grid_spd(w: usize, h: usize) -> CsrMatrix {
+        let n = w * h;
+        let mut t = TripletMatrix::new(n, n);
+        for y in 0..h {
+            for x in 0..w {
+                let i = y * w + x;
+                if x + 1 < w {
+                    t.stamp_conductance(i, i + 1, 3.0);
+                }
+                if y + 1 < h {
+                    t.stamp_conductance(i, i + w, 3.0);
+                }
+                if (x + y) % 5 == 0 {
+                    t.stamp_grounded_conductance(i, 0.8);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn exact_on_tridiagonal() {
+        // A tridiagonal matrix has no fill, so IC(0) is the exact factor
+        // and applying it solves the system exactly.
+        let n = 12;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.add(i, i, 2.5);
+            if i + 1 < n {
+                t.stamp_conductance(i, i + 1, 1.0);
+            }
+        }
+        let a = t.to_csr();
+        let ic = IncompleteCholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut z = vec![0.0; n];
+        ic.apply(&b, &mut z);
+        let az = a.matvec(&z).unwrap();
+        for (x, y) in az.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn preconditioner_is_spd_like() {
+        // z = M⁻¹ r must satisfy rᵀ z > 0 for r ≠ 0.
+        let a = grid_spd(6, 5);
+        let ic = IncompleteCholesky::factor(&a).unwrap();
+        let r: Vec<f64> = (0..30).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let mut z = vec![0.0; 30];
+        ic.apply(&r, &mut z);
+        let dot: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        assert!(dot > 0.0);
+    }
+
+    #[test]
+    fn richardson_with_ic_beats_jacobi() {
+        // Preconditioned Richardson iteration x ← x + M⁻¹(b − Ax): after a
+        // fixed number of sweeps the IC(0)-preconditioned residual must be
+        // far below the Jacobi one — the single-number summary of
+        // preconditioner quality.
+        let a = grid_spd(8, 8);
+        let n = a.rows();
+        let b = vec![1.0; n];
+        let ic = IncompleteCholesky::factor(&a).unwrap();
+        let diag = a.diagonal();
+
+        let run = |use_ic: bool| {
+            let mut x = vec![0.0; n];
+            let mut z = vec![0.0; n];
+            for _ in 0..10 {
+                let ax = a.matvec(&x).unwrap();
+                let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+                if use_ic {
+                    ic.apply(&r, &mut z);
+                } else {
+                    for ((zi, ri), di) in z.iter_mut().zip(&r).zip(&diag) {
+                        *zi = ri / di;
+                    }
+                }
+                for (xi, zi) in x.iter_mut().zip(&z) {
+                    *xi += 0.9 * zi; // damped for Jacobi stability
+                }
+            }
+            let ax = a.matvec(&x).unwrap();
+            ax.iter()
+                .zip(&b)
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let ic_res = run(true);
+        let jacobi_res = run(false);
+        // The weakly-grounded grid's low-frequency mode limits both, but
+        // IC(0) must still converge measurably faster.
+        assert!(
+            ic_res < 0.7 * jacobi_res,
+            "IC(0) residual {ic_res:.3e} not clearly below Jacobi {jacobi_res:.3e}"
+        );
+    }
+
+    #[test]
+    fn rejects_non_square_and_indefinite() {
+        let t = TripletMatrix::new(2, 3);
+        assert!(IncompleteCholesky::factor(&t.to_csr()).is_err());
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 0, -1.0);
+        t.add(1, 1, 1.0);
+        assert!(matches!(
+            IncompleteCholesky::factor(&t.to_csr()),
+            Err(SparseError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn apply_checks_lengths() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 0, 1.0);
+        t.add(1, 1, 1.0);
+        let ic = IncompleteCholesky::factor(&t.to_csr()).unwrap();
+        let mut z = vec![0.0; 2];
+        ic.apply(&[1.0], &mut z);
+    }
+}

@@ -1,0 +1,214 @@
+use crate::CsrMatrix;
+
+/// A coordinate-format (COO) sparse-matrix builder.
+///
+/// Circuit stamping naturally produces duplicate entries (two resistors
+/// touching the same node pair); duplicates are summed when converting to
+/// [`CsrMatrix`], which matches the modified-nodal-analysis convention.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_sparse::TripletMatrix;
+///
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.add(0, 0, 1.0);
+/// t.add(0, 0, 2.0); // duplicate: summed
+/// let a = t.to_csr();
+/// assert_eq!(a.get(0, 0), 3.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TripletMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty builder for a `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder with pre-allocated capacity for `nnz`
+    /// entries.
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of raw (pre-deduplication) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Adds `value` at `(row, col)`. Duplicates accumulate.
+    ///
+    /// Zero values are kept (they may be structurally meaningful), but an
+    /// exactly-zero `value` is skipped as an optimization since summation is
+    /// unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet index ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        if value != 0.0 {
+            self.entries.push((row, col, value));
+        }
+    }
+
+    /// Stamps a conductance `g` between nodes `a` and `b` (both diagonal
+    /// contributions plus the two negative off-diagonals) — the standard MNA
+    /// resistor stamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of bounds or if the matrix is not
+    /// square.
+    pub fn stamp_conductance(&mut self, a: usize, b: usize, g: f64) {
+        assert_eq!(self.rows, self.cols, "conductance stamp needs square matrix");
+        self.add(a, a, g);
+        self.add(b, b, g);
+        self.add(a, b, -g);
+        self.add(b, a, -g);
+    }
+
+    /// Stamps a conductance `g` from node `a` to ground (diagonal only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of bounds.
+    pub fn stamp_grounded_conductance(&mut self, a: usize, g: f64) {
+        self.add(a, a, g);
+    }
+
+    /// Converts to CSR, summing duplicates and dropping entries that cancel
+    /// to exactly zero.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+
+        let mut iter = sorted.into_iter().peekable();
+        while let Some((r, c, mut v)) = iter.next() {
+            while let Some(&(r2, c2, v2)) = iter.peek() {
+                if r2 == r && c2 == c {
+                    v += v2;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            if v != 0.0 {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r + 1] += 1;
+            }
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix::from_raw_parts(self.rows, self.cols, row_ptr, col_idx, values)
+            .expect("triplet conversion produces valid CSR")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.add(1, 1, 2.0);
+        t.add(1, 1, 3.0);
+        t.add(0, 2, -1.0);
+        let a = t.to_csr();
+        assert_eq!(a.get(1, 1), 5.0);
+        assert_eq!(a.get(0, 2), -1.0);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn cancelling_entries_dropped() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 1, 1.0);
+        t.add(0, 1, -1.0);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn zero_add_is_skipped() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 0, 0.0);
+        assert_eq!(t.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(2, 0, 1.0);
+    }
+
+    #[test]
+    fn conductance_stamp_pattern() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.stamp_conductance(0, 2, 4.0);
+        let a = t.to_csr();
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.get(2, 2), 4.0);
+        assert_eq!(a.get(0, 2), -4.0);
+        assert_eq!(a.get(2, 0), -4.0);
+        // Row sums are zero: a floating resistor injects no current.
+        for i in 0..3 {
+            let s: f64 = (0..3).map(|j| a.get(i, j)).sum();
+            assert!(s.abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn grounded_stamp_only_diagonal() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.stamp_grounded_conductance(1, 7.0);
+        let a = t.to_csr();
+        assert_eq!(a.get(1, 1), 7.0);
+        assert_eq!(a.nnz(), 1);
+    }
+
+    #[test]
+    fn empty_builder_gives_empty_csr() {
+        let t = TripletMatrix::new(4, 4);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.rows(), 4);
+    }
+}

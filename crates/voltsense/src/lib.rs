@@ -1,0 +1,65 @@
+//! voltsense — statistical noise-sensor placement and full-chip voltage-map
+//! generation.
+//!
+//! This umbrella crate re-exports the whole workspace and adds the
+//! [`scenario`] module, which wires the substrates together into the
+//! experiment pipeline of the reproduced DAC 2015 paper:
+//!
+//! ```text
+//! floorplan ──► workload ──► powergrid ──► (X, F) data
+//!                                             │
+//!                          grouplasso ◄───────┤ normalize
+//!                                │            │
+//!                        sensor selection     │
+//!                                │            │
+//!                          OLS refit (core) ◄─┘
+//!                                │
+//!                   runtime voltage-map model + detection
+//! ```
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use voltsense::scenario::Scenario;
+//! use voltsense::core::{Methodology, MethodologyConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build a small chip, simulate two benchmarks, fit the methodology.
+//! let scenario = Scenario::small()?;
+//! let data = scenario.collect(&[0, 1])?;
+//! let (train, test) = data.split(3);
+//! let fitted = Methodology::fit(&train.x, &train.f, &MethodologyConfig::default())?;
+//! let report = fitted.evaluate(&test.x, &test.f)?;
+//! println!("sensors: {:?}, rel err: {:.2e}", fitted.sensors(), report.relative_error);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenario;
+
+/// Dense linear algebra ([`voltsense_linalg`]).
+pub use voltsense_linalg as linalg;
+
+/// Sparse matrices and solvers ([`voltsense_sparse`]).
+pub use voltsense_sparse as sparse;
+
+/// Chip floorplan ([`voltsense_floorplan`]).
+pub use voltsense_floorplan as floorplan;
+
+/// Synthetic workloads ([`voltsense_workload`]).
+pub use voltsense_workload as workload;
+
+/// Power-grid simulation ([`voltsense_powergrid`]).
+pub use voltsense_powergrid as powergrid;
+
+/// Group-lasso solvers ([`voltsense_grouplasso`]).
+pub use voltsense_grouplasso as grouplasso;
+
+/// Eagle-Eye baseline ([`voltsense_eagleeye`]).
+pub use voltsense_eagleeye as eagleeye;
+
+/// The DAC'15 methodology ([`voltsense_core`]).
+pub use voltsense_core as core;

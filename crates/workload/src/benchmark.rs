@@ -1,0 +1,236 @@
+use std::fmt;
+
+use voltsense_floorplan::UnitGroup;
+
+/// Identifier of a benchmark within the suite (`0..19` for the PARSEC-like
+/// suite; the paper's tables label them `BM1..BM19`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BenchmarkId(pub usize);
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BM{}", self.0 + 1)
+    }
+}
+
+/// Statistical character of a benchmark's activity, the knobs the trace
+/// generator consumes.
+///
+/// Values were chosen so the suite spans the behaviours that matter for
+/// supply noise: sustained compute (high bias, low gating), bursty phases
+/// (high gating rate), memory-bound (low execution bias, high memory bias)
+/// and resonance-exciting periodic loads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// RNG seed; every stochastic decision for this benchmark derives from
+    /// it.
+    pub seed: u64,
+    /// Mean activity level per unit group
+    /// `[frontend, execution, load-store, memory]`, each in `[0, 1]`.
+    pub group_bias: [f64; 4],
+    /// Mean program-phase length in nanoseconds.
+    pub phase_period_ns: f64,
+    /// Probability per control interval that a gateable block toggles its
+    /// power-gate state.
+    pub gating_rate: f64,
+    /// Gate turn-on/off slew in nanoseconds.
+    pub gate_slew_ns: f64,
+    /// Amplitude (fraction of activity) of the periodic modulation that
+    /// excites the grid's resonance.
+    pub resonance_amp: f64,
+    /// Period of that modulation in nanoseconds.
+    pub resonance_period_ns: f64,
+    /// Standard deviation of the Ornstein–Uhlenbeck activity noise.
+    pub noise_sigma: f64,
+}
+
+impl WorkloadProfile {
+    /// Mean activity bias for one unit group.
+    pub fn bias_for(&self, group: UnitGroup) -> f64 {
+        match group {
+            UnitGroup::Frontend => self.group_bias[0],
+            UnitGroup::Execution => self.group_bias[1],
+            UnitGroup::LoadStore => self.group_bias[2],
+            UnitGroup::Memory => self.group_bias[3],
+        }
+    }
+
+    /// Checks every knob is in range.
+    pub(crate) fn validate(&self) -> Result<(), crate::WorkloadError> {
+        let ok = self.group_bias.iter().all(|b| (0.0..=1.0).contains(b))
+            && self.phase_period_ns > 0.0
+            && (0.0..=1.0).contains(&self.gating_rate)
+            && self.gate_slew_ns >= 0.0
+            && (0.0..=1.0).contains(&self.resonance_amp)
+            && self.resonance_period_ns > 0.0
+            && self.noise_sigma >= 0.0;
+        if ok {
+            Ok(())
+        } else {
+            Err(crate::WorkloadError::InvalidConfig {
+                what: format!("workload profile out of range: {self:?}"),
+            })
+        }
+    }
+}
+
+/// A named benchmark: an id, a PARSEC-inspired name and its workload
+/// profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    id: BenchmarkId,
+    name: &'static str,
+    profile: WorkloadProfile,
+}
+
+impl Benchmark {
+    /// Creates a benchmark. Prefer [`parsec_like_suite`] for the standard
+    /// 19; this constructor exists for custom experiments.
+    pub fn new(id: BenchmarkId, name: &'static str, profile: WorkloadProfile) -> Self {
+        Benchmark { id, name, profile }
+    }
+
+    /// Benchmark id.
+    pub fn id(&self) -> BenchmarkId {
+        self.id
+    }
+
+    /// Benchmark name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Workload profile.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.id, self.name)
+    }
+}
+
+/// Builds the 19-benchmark PARSEC-2.1-like suite used by all experiments.
+///
+/// Names follow the PARSEC programs; the profiles are synthetic but span
+/// the same qualitative space (compute-bound, memory-bound, bursty,
+/// pipelined streaming, …). Profiles are deterministic: calling this twice
+/// yields identical suites.
+pub fn parsec_like_suite() -> Vec<Benchmark> {
+    // name, [fe, exec, ls, mem], phase_ns, gating, slew_ns, res_amp, res_ns, sigma
+    let specs: [(&str, [f64; 4], f64, f64, f64, f64, f64, f64); 19] = [
+        ("blackscholes", [0.45, 0.80, 0.40, 0.20], 900.0, 0.020, 3.0, 0.30, 18.0, 0.10),
+        ("bodytrack",    [0.55, 0.70, 0.55, 0.35], 600.0, 0.050, 3.0, 0.25, 22.0, 0.14),
+        ("canneal",      [0.35, 0.40, 0.70, 0.60], 1200.0, 0.015, 4.0, 0.15, 30.0, 0.12),
+        ("dedup",        [0.50, 0.55, 0.75, 0.45], 500.0, 0.060, 2.5, 0.20, 25.0, 0.16),
+        ("facesim",      [0.45, 0.85, 0.50, 0.30], 800.0, 0.030, 3.0, 0.35, 20.0, 0.11),
+        ("ferret",       [0.55, 0.60, 0.60, 0.50], 700.0, 0.045, 3.5, 0.22, 24.0, 0.13),
+        ("fluidanimate", [0.40, 0.90, 0.45, 0.25], 1000.0, 0.025, 3.0, 0.40, 16.0, 0.10),
+        ("freqmine",     [0.60, 0.65, 0.55, 0.40], 650.0, 0.040, 3.0, 0.18, 28.0, 0.12),
+        ("raytrace",     [0.50, 0.75, 0.50, 0.35], 850.0, 0.035, 3.0, 0.28, 19.0, 0.12),
+        ("streamcluster",[0.35, 0.50, 0.80, 0.55], 1100.0, 0.020, 4.0, 0.16, 32.0, 0.13),
+        ("swaptions",    [0.45, 0.85, 0.35, 0.20], 750.0, 0.055, 2.5, 0.38, 17.0, 0.15),
+        ("vips",         [0.55, 0.65, 0.60, 0.40], 600.0, 0.050, 3.0, 0.24, 23.0, 0.14),
+        ("x264",         [0.65, 0.75, 0.55, 0.35], 450.0, 0.080, 2.0, 0.32, 21.0, 0.18),
+        ("barnes",       [0.40, 0.70, 0.55, 0.40], 950.0, 0.030, 3.5, 0.26, 26.0, 0.11),
+        ("fmm",          [0.45, 0.80, 0.45, 0.30], 900.0, 0.025, 3.0, 0.30, 18.0, 0.10),
+        ("ocean",        [0.35, 0.60, 0.75, 0.55], 1000.0, 0.020, 4.0, 0.20, 29.0, 0.12),
+        ("radiosity",    [0.50, 0.75, 0.50, 0.35], 800.0, 0.040, 3.0, 0.27, 20.0, 0.13),
+        ("volrend",      [0.55, 0.70, 0.55, 0.40], 700.0, 0.045, 3.0, 0.25, 22.0, 0.13),
+        ("water",        [0.40, 0.85, 0.40, 0.25], 850.0, 0.035, 3.0, 0.34, 18.0, 0.11),
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, bias, phase, gating, slew, amp, period, sigma))| {
+            Benchmark::new(
+                BenchmarkId(i),
+                name,
+                WorkloadProfile {
+                    seed: 0x5EED_0000 + i as u64,
+                    group_bias: bias,
+                    phase_period_ns: phase,
+                    gating_rate: gating,
+                    gate_slew_ns: slew,
+                    resonance_amp: amp,
+                    resonance_period_ns: period,
+                    noise_sigma: sigma,
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_nineteen_unique_benchmarks() {
+        let suite = parsec_like_suite();
+        assert_eq!(suite.len(), 19);
+        for (i, b) in suite.iter().enumerate() {
+            assert_eq!(b.id(), BenchmarkId(i));
+        }
+        let mut names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19, "duplicate benchmark names");
+        let mut seeds: Vec<u64> = suite.iter().map(|b| b.profile().seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 19, "duplicate seeds");
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for b in parsec_like_suite() {
+            b.profile().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        assert_eq!(parsec_like_suite(), parsec_like_suite());
+    }
+
+    #[test]
+    fn display_uses_one_based_label() {
+        let suite = parsec_like_suite();
+        assert_eq!(suite[0].id().to_string(), "BM1");
+        assert!(suite[3].to_string().contains("BM4"));
+        assert!(suite[3].to_string().contains("dedup"));
+    }
+
+    #[test]
+    fn bias_for_maps_groups() {
+        let b = &parsec_like_suite()[0];
+        assert_eq!(b.profile().bias_for(UnitGroup::Execution), 0.80);
+        assert_eq!(b.profile().bias_for(UnitGroup::Memory), 0.20);
+    }
+
+    #[test]
+    fn invalid_profile_rejected() {
+        let mut p = parsec_like_suite()[0].profile().clone();
+        p.gating_rate = 1.5;
+        assert!(p.validate().is_err());
+        let mut p2 = parsec_like_suite()[0].profile().clone();
+        p2.phase_period_ns = 0.0;
+        assert!(p2.validate().is_err());
+    }
+
+    #[test]
+    fn suite_spans_diverse_characters() {
+        let suite = parsec_like_suite();
+        // At least one compute-bound (execution bias >= 0.85) and one
+        // memory-bound (memory bias >= 0.55) benchmark.
+        assert!(suite.iter().any(|b| b.profile().group_bias[1] >= 0.85));
+        assert!(suite.iter().any(|b| b.profile().group_bias[3] >= 0.55));
+        // Gating rates span a 4x range.
+        let min = suite.iter().map(|b| b.profile().gating_rate).fold(1.0, f64::min);
+        let max = suite.iter().map(|b| b.profile().gating_rate).fold(0.0, f64::max);
+        assert!(max / min >= 4.0);
+    }
+}

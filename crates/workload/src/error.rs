@@ -1,0 +1,40 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for workload-trace generation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A trace-generation parameter was out of range.
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        what: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidConfig { what } => {
+                write!(f, "invalid workload configuration: {what}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WorkloadError>();
+        let err = WorkloadError::InvalidConfig {
+            what: "dt must be positive".into(),
+        };
+        assert!(err.to_string().contains("dt"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Synthetic benchmark suite and per-block current-trace generation.
+//!
+//! The paper drives its power grid from gem5 runtime statistics of the 19
+//! PARSEC 2.1 benchmarks converted to power by McPAT. Neither tool is
+//! available here, so this crate generates the same *kind* of signal the
+//! grid needs — a per-function-block supply-current waveform with:
+//!
+//! * **program phases** — piecewise activity levels per block that switch
+//!   on a microsecond-ish timescale;
+//! * **benchmark character** — each of the 19 [`Benchmark`]s biases
+//!   activity differently across unit groups (integer-heavy, FP-heavy,
+//!   memory-bound, bursty, …);
+//! * **clock-level modulation** — bounded sinusoidal + Ornstein–Uhlenbeck
+//!   components that excite the grid's RC response;
+//! * **power gating** — gateable blocks toggle on/off with a finite slew,
+//!   producing the large di/dt steps that cause voltage emergencies.
+//!
+//! Everything is deterministic given the benchmark's seed.
+//!
+//! # Example
+//!
+//! ```
+//! use voltsense_workload::{parsec_like_suite, TraceConfig, WorkloadTrace};
+//! use voltsense_floorplan::{ChipFloorplan, ChipConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let chip = ChipFloorplan::new(&ChipConfig::small_test())?;
+//! let suite = parsec_like_suite();
+//! assert_eq!(suite.len(), 19);
+//! let trace = WorkloadTrace::generate(&suite[0], chip.blocks(), &TraceConfig::default())?;
+//! assert_eq!(trace.num_blocks(), chip.blocks().len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmark;
+mod error;
+mod power;
+mod rng;
+pub mod stats;
+mod trace;
+
+pub use benchmark::{parsec_like_suite, Benchmark, BenchmarkId, WorkloadProfile};
+pub use error::WorkloadError;
+pub use power::PowerModel;
+pub use rng::GaussianRng;
+pub use trace::{TraceConfig, WorkloadTrace};

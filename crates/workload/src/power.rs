@@ -1,0 +1,126 @@
+//! Activity → supply-current conversion (the McPAT stand-in).
+
+use voltsense_floorplan::FunctionBlock;
+
+/// Converts block activity levels into supply currents.
+///
+/// The model is the standard decomposition used by architectural power
+/// tools: `P = P_leak + activity · P_dyn`, with `P_dyn` derived from the
+/// block's nominal full-activity power. Power gating scales the leakage by
+/// a retention factor and removes the dynamic component.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_workload::PowerModel;
+///
+/// let model = PowerModel::new(1.0);
+/// // A 1 W-nominal block at 50% activity, ungated:
+/// let i = model.current_for(1.0, 0.5, 1.0);
+/// assert!(i > 0.0);
+/// // Fully gated: only retention leakage remains.
+/// let gated = model.current_for(1.0, 0.5, 0.0);
+/// assert!(gated < i * 0.2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    vdd: f64,
+    /// Fraction of nominal power that is leakage at nominal temperature.
+    leakage_fraction: f64,
+    /// Fraction of leakage that survives power gating (retention cells,
+    /// sleep transistor leakage).
+    gated_retention: f64,
+}
+
+impl PowerModel {
+    /// Creates the model for a supply voltage `vdd` (volts) with default
+    /// 22 nm-plausible leakage parameters (25% leakage, 8% retention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not positive and finite.
+    pub fn new(vdd: f64) -> Self {
+        assert!(vdd > 0.0 && vdd.is_finite(), "vdd must be positive");
+        PowerModel {
+            vdd,
+            leakage_fraction: 0.25,
+            gated_retention: 0.08,
+        }
+    }
+
+    /// Supply voltage (volts).
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Leakage fraction of nominal power.
+    pub fn leakage_fraction(&self) -> f64 {
+        self.leakage_fraction
+    }
+
+    /// Supply current (amperes) for a block of `nominal_power` watts at
+    /// `activity ∈ [0, 1]` with `gate ∈ [0, 1]` (0 = fully power-gated,
+    /// 1 = on; intermediate values model gate slew).
+    pub fn current_for(&self, nominal_power: f64, activity: f64, gate: f64) -> f64 {
+        let activity = activity.clamp(0.0, 1.0);
+        let gate = gate.clamp(0.0, 1.0);
+        let p_leak = nominal_power * self.leakage_fraction;
+        let p_dyn = nominal_power * (1.0 - self.leakage_fraction) * activity;
+        // Gating interpolates between full power and retention leakage.
+        let on = p_leak + p_dyn;
+        let off = p_leak * self.gated_retention;
+        (off + gate * (on - off)) / self.vdd
+    }
+
+    /// Current for a placed block (uses its nominal power).
+    pub fn block_current(&self, block: &FunctionBlock, activity: f64, gate: f64) -> f64 {
+        self.current_for(block.nominal_power(), activity, gate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_in_activity_and_gate() {
+        let m = PowerModel::new(1.0);
+        assert!(m.current_for(2.0, 0.8, 1.0) > m.current_for(2.0, 0.2, 1.0));
+        assert!(m.current_for(2.0, 0.5, 1.0) > m.current_for(2.0, 0.5, 0.3));
+    }
+
+    #[test]
+    fn gated_current_is_small_but_nonzero() {
+        let m = PowerModel::new(1.0);
+        let off = m.current_for(1.0, 1.0, 0.0);
+        assert!(off > 0.0);
+        assert!(off < 0.05);
+    }
+
+    #[test]
+    fn current_scales_inversely_with_vdd() {
+        let a = PowerModel::new(1.0).current_for(1.0, 0.5, 1.0);
+        let b = PowerModel::new(2.0).current_for(1.0, 0.5, 1.0);
+        assert!((a / b - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activity_clamped() {
+        let m = PowerModel::new(1.0);
+        assert_eq!(m.current_for(1.0, 2.0, 1.0), m.current_for(1.0, 1.0, 1.0));
+        assert_eq!(m.current_for(1.0, -1.0, 1.0), m.current_for(1.0, 0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "vdd must be positive")]
+    fn zero_vdd_panics() {
+        PowerModel::new(0.0);
+    }
+
+    #[test]
+    fn zero_activity_is_leakage_only() {
+        let m = PowerModel::new(1.0);
+        let i = m.current_for(4.0, 0.0, 1.0);
+        assert!((i - 4.0 * m.leakage_fraction()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! Trace statistics: the quantities that make a current trace a credible
+//! stand-in for gem5+McPAT output.
+//!
+//! The methodology's stress case is large di/dt (the paper's motivation:
+//! power gating causes "large current swings over a relatively small time
+//! scale"). [`TraceStats`] summarizes a generated trace so tests and
+//! experiment logs can assert the workload actually exhibits those
+//! dynamics.
+
+use crate::WorkloadTrace;
+
+/// Summary statistics of one benchmark's full-chip current trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Mean total chip current (A).
+    pub mean_current: f64,
+    /// Peak total chip current (A).
+    pub peak_current: f64,
+    /// Minimum total chip current (A).
+    pub min_current: f64,
+    /// Largest one-step change of the total current, |ΔI| (A) — the di/dt
+    /// proxy at the trace's timestep.
+    pub max_step_didt: f64,
+    /// Root-mean-square one-step change (A).
+    pub rms_step_didt: f64,
+    /// Lag-1 autocorrelation of the total current: near 1 for the smooth,
+    /// phase-structured traces real programs produce.
+    pub lag1_autocorrelation: f64,
+}
+
+impl TraceStats {
+    /// Computes the statistics of a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has fewer than two timesteps.
+    pub fn compute(trace: &WorkloadTrace) -> TraceStats {
+        let n = trace.num_steps();
+        assert!(n >= 2, "trace statistics need at least two timesteps");
+        let totals: Vec<f64> = (0..n).map(|s| trace.total_current(s)).collect();
+        let mean_current = totals.iter().sum::<f64>() / n as f64;
+        let peak_current = totals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min_current = totals.iter().copied().fold(f64::INFINITY, f64::min);
+        let mut max_step_didt = 0.0_f64;
+        let mut sum_sq = 0.0_f64;
+        for w in totals.windows(2) {
+            let d = (w[1] - w[0]).abs();
+            max_step_didt = max_step_didt.max(d);
+            sum_sq += d * d;
+        }
+        let rms_step_didt = (sum_sq / (n - 1) as f64).sqrt();
+        // Lag-1 autocorrelation.
+        let var: f64 = totals
+            .iter()
+            .map(|t| (t - mean_current) * (t - mean_current))
+            .sum::<f64>()
+            / n as f64;
+        let cov: f64 = totals
+            .windows(2)
+            .map(|w| (w[0] - mean_current) * (w[1] - mean_current))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        let lag1_autocorrelation = if var > 0.0 { cov / var } else { 0.0 };
+        TraceStats {
+            mean_current,
+            peak_current,
+            min_current,
+            max_step_didt,
+            rms_step_didt,
+            lag1_autocorrelation,
+        }
+    }
+
+    /// Peak-to-mean ratio — a standard burstiness figure.
+    pub fn crest_factor(&self) -> f64 {
+        if self.mean_current > 0.0 {
+            self.peak_current / self.mean_current
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parsec_like_suite, TraceConfig, WorkloadTrace};
+    use voltsense_floorplan::{ChipConfig, ChipFloorplan};
+
+    fn trace(bench: usize) -> WorkloadTrace {
+        let chip = ChipFloorplan::new(&ChipConfig::small_test()).unwrap();
+        WorkloadTrace::generate(
+            &parsec_like_suite()[bench],
+            chip.blocks(),
+            &TraceConfig {
+                duration_ns: 2000.0,
+                ..TraceConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn statistics_are_internally_consistent() {
+        let stats = TraceStats::compute(&trace(0));
+        assert!(stats.min_current > 0.0, "leakage keeps current positive");
+        assert!(stats.min_current <= stats.mean_current);
+        assert!(stats.mean_current <= stats.peak_current);
+        assert!(stats.max_step_didt >= stats.rms_step_didt);
+        assert!(stats.crest_factor() >= 1.0);
+    }
+
+    #[test]
+    fn traces_are_smooth_but_not_constant() {
+        let stats = TraceStats::compute(&trace(0));
+        // Phase-structured program behaviour: strongly autocorrelated...
+        assert!(
+            stats.lag1_autocorrelation > 0.9,
+            "lag-1 autocorr {}",
+            stats.lag1_autocorrelation
+        );
+        // ...but with real activity swings.
+        assert!(stats.peak_current > 1.05 * stats.min_current);
+    }
+
+    #[test]
+    fn gating_heavy_benchmark_has_larger_didt() {
+        // x264 (index 12) has the suite's highest gating rate; its current
+        // steps should out-swing blackscholes (index 0) in RMS terms.
+        let calm = TraceStats::compute(&trace(0));
+        let bursty = TraceStats::compute(&trace(12));
+        assert!(
+            bursty.rms_step_didt > calm.rms_step_didt,
+            "bursty {} vs calm {}",
+            bursty.rms_step_didt,
+            calm.rms_step_didt
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = TraceStats::compute(&trace(3));
+        let b = TraceStats::compute(&trace(3));
+        assert_eq!(a, b);
+    }
+}

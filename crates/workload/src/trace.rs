@@ -1,0 +1,342 @@
+use voltsense_floorplan::FunctionBlock;
+use voltsense_linalg::Matrix;
+
+use crate::benchmark::Benchmark;
+use crate::power::PowerModel;
+use crate::rng::GaussianRng;
+use crate::WorkloadError;
+
+/// Parameters of trace generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Simulated duration in nanoseconds.
+    pub duration_ns: f64,
+    /// Simulation timestep in nanoseconds (matches the power-grid
+    /// transient step).
+    pub dt_ns: f64,
+    /// Activity control interval in nanoseconds: program phases, gating
+    /// decisions and noise are updated at this granularity and interpolated
+    /// in between.
+    pub control_interval_ns: f64,
+    /// Supply voltage for the power-to-current conversion.
+    pub vdd: f64,
+}
+
+impl Default for TraceConfig {
+    /// 4 µs at 1 ns steps, 10 ns control interval, 1.0 V — the scale used
+    /// by the unit/integration tests. Experiments override the duration.
+    fn default() -> Self {
+        TraceConfig {
+            duration_ns: 4000.0,
+            dt_ns: 1.0,
+            control_interval_ns: 10.0,
+            vdd: 1.0,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Number of simulation steps implied by this configuration.
+    pub fn num_steps(&self) -> usize {
+        (self.duration_ns / self.dt_ns).round() as usize
+    }
+
+    fn validate(&self) -> Result<(), WorkloadError> {
+        let ok = self.duration_ns > 0.0
+            && self.dt_ns > 0.0
+            && self.control_interval_ns >= self.dt_ns
+            && self.vdd > 0.0
+            && self.duration_ns.is_finite()
+            && self.dt_ns.is_finite();
+        if ok {
+            Ok(())
+        } else {
+            Err(WorkloadError::InvalidConfig {
+                what: format!("trace config out of range: {self:?}"),
+            })
+        }
+    }
+}
+
+/// A generated per-block supply-current trace: the drop-in replacement for
+/// the paper's gem5 → McPAT pipeline output.
+///
+/// Row `b` of the current matrix is block `b`'s current (amperes) at every
+/// timestep; block order matches the `blocks` slice passed to
+/// [`WorkloadTrace::generate`].
+#[derive(Debug, Clone)]
+pub struct WorkloadTrace {
+    currents: Matrix,
+    dt_ns: f64,
+}
+
+/// Time constant of the Ornstein–Uhlenbeck activity noise (ns).
+const OU_TAU_NS: f64 = 30.0;
+
+impl WorkloadTrace {
+    /// Generates the current trace of `benchmark` over the given blocks.
+    ///
+    /// Deterministic: the same benchmark, block list and configuration
+    /// always produce the same trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] if the benchmark profile or
+    /// the trace configuration is out of range, or if `blocks` is empty.
+    pub fn generate(
+        benchmark: &Benchmark,
+        blocks: &[FunctionBlock],
+        config: &TraceConfig,
+    ) -> Result<Self, WorkloadError> {
+        benchmark.profile().validate()?;
+        config.validate()?;
+        if blocks.is_empty() {
+            return Err(WorkloadError::InvalidConfig {
+                what: "trace needs at least one block".into(),
+            });
+        }
+        let profile = benchmark.profile();
+        let n_steps = config.num_steps();
+        let steps_per_ctrl = (config.control_interval_ns / config.dt_ns).round().max(1.0) as usize;
+        let n_ctrl = n_steps / steps_per_ctrl + 2;
+        let power = PowerModel::new(config.vdd);
+
+        let mut currents = Matrix::zeros(blocks.len(), n_steps);
+        for (bi, block) in blocks.iter().enumerate() {
+            // Independent, reproducible stream per (benchmark, block).
+            let mut rng = GaussianRng::seed_from_u64(
+                profile
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(block.id().0 as u64),
+            );
+            let bias = profile.bias_for(block.kind().unit_group());
+            let res_phase = rng.uniform() * std::f64::consts::TAU;
+
+            // --- control-interval signals -------------------------------
+            // Program-phase base activity (piecewise constant).
+            let switch_prob =
+                (config.control_interval_ns / profile.phase_period_ns).min(1.0);
+            let mut base = vec![0.0; n_ctrl];
+            let mut cur_base = clamp01(bias + 0.20 * rng.sample());
+            // OU noise (piecewise linear between control points).
+            let theta = (-config.control_interval_ns / OU_TAU_NS).exp();
+            let ou_scale = profile.noise_sigma * (1.0 - theta * theta).sqrt();
+            let mut noise = vec![0.0; n_ctrl];
+            let mut cur_noise = 0.0;
+            // Power-gate target state (1 = on) with per-interval toggles.
+            let gateable = block.kind().is_gateable();
+            let mut gate_target = vec![1.0; n_ctrl];
+            let mut cur_gate = if gateable && rng.uniform() < 0.3 { 0.0 } else { 1.0 };
+            for k in 0..n_ctrl {
+                if rng.uniform() < switch_prob {
+                    cur_base = clamp01(bias + 0.25 * rng.sample());
+                }
+                base[k] = cur_base;
+                cur_noise = theta * cur_noise + ou_scale * rng.sample();
+                noise[k] = cur_noise;
+                if gateable && rng.uniform() < profile.gating_rate {
+                    cur_gate = 1.0 - cur_gate;
+                }
+                gate_target[k] = if gateable { cur_gate } else { 1.0 };
+            }
+
+            // --- per-step synthesis -------------------------------------
+            let omega = std::f64::consts::TAU / profile.resonance_period_ns;
+            let slew_steps = (profile.gate_slew_ns / config.dt_ns).max(1.0);
+            let mut gate = gate_target[0];
+            let row = currents.row_mut(bi);
+            for (s, out) in row.iter_mut().enumerate() {
+                let t_ns = s as f64 * config.dt_ns;
+                let k = s / steps_per_ctrl;
+                let frac = (s % steps_per_ctrl) as f64 / steps_per_ctrl as f64;
+                let b0 = base[k];
+                let n0 = noise[k] + (noise[k + 1] - noise[k]) * frac;
+                let res = profile.resonance_amp * (omega * t_ns + res_phase).sin();
+                let activity = clamp01(b0 * (1.0 + res) + n0);
+                // Slew the gate towards its target.
+                let target = gate_target[k];
+                let step = 1.0 / slew_steps;
+                if gate < target {
+                    gate = (gate + step).min(target);
+                } else if gate > target {
+                    gate = (gate - step).max(target);
+                }
+                *out = power.block_current(block, activity, gate);
+            }
+        }
+        Ok(WorkloadTrace {
+            currents,
+            dt_ns: config.dt_ns,
+        })
+    }
+
+    /// Number of blocks (rows).
+    pub fn num_blocks(&self) -> usize {
+        self.currents.rows()
+    }
+
+    /// Number of timesteps (columns).
+    pub fn num_steps(&self) -> usize {
+        self.currents.cols()
+    }
+
+    /// Timestep in nanoseconds.
+    pub fn dt_ns(&self) -> f64 {
+        self.dt_ns
+    }
+
+    /// Current of block `block_index` at `step` (amperes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn current(&self, block_index: usize, step: usize) -> f64 {
+        self.currents[(block_index, step)]
+    }
+
+    /// One block's full current waveform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_index` is out of bounds.
+    pub fn block_waveform(&self, block_index: usize) -> &[f64] {
+        self.currents.row(block_index)
+    }
+
+    /// Total chip current at `step` (amperes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is out of bounds.
+    pub fn total_current(&self, step: usize) -> f64 {
+        (0..self.num_blocks()).map(|b| self.current(b, step)).sum()
+    }
+
+    /// The underlying `blocks x steps` current matrix.
+    pub fn currents(&self) -> &Matrix {
+        &self.currents
+    }
+}
+
+fn clamp01(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parsec_like_suite;
+    use voltsense_floorplan::{ChipConfig, ChipFloorplan};
+
+    fn chip() -> ChipFloorplan {
+        ChipFloorplan::new(&ChipConfig::small_test()).unwrap()
+    }
+
+    fn short_config() -> TraceConfig {
+        TraceConfig {
+            duration_ns: 500.0,
+            ..TraceConfig::default()
+        }
+    }
+
+    #[test]
+    fn trace_shape_matches_config() {
+        let chip = chip();
+        let bm = &parsec_like_suite()[0];
+        let trace = WorkloadTrace::generate(bm, chip.blocks(), &short_config()).unwrap();
+        assert_eq!(trace.num_blocks(), 60);
+        assert_eq!(trace.num_steps(), 500);
+        assert_eq!(trace.dt_ns(), 1.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let chip = chip();
+        let bm = &parsec_like_suite()[3];
+        let a = WorkloadTrace::generate(bm, chip.blocks(), &short_config()).unwrap();
+        let b = WorkloadTrace::generate(bm, chip.blocks(), &short_config()).unwrap();
+        assert_eq!(a.currents(), b.currents());
+    }
+
+    #[test]
+    fn different_benchmarks_differ() {
+        let chip = chip();
+        let suite = parsec_like_suite();
+        let a = WorkloadTrace::generate(&suite[0], chip.blocks(), &short_config()).unwrap();
+        let b = WorkloadTrace::generate(&suite[1], chip.blocks(), &short_config()).unwrap();
+        assert_ne!(a.currents(), b.currents());
+    }
+
+    #[test]
+    fn currents_are_positive_and_bounded() {
+        let chip = chip();
+        let bm = &parsec_like_suite()[6];
+        let trace = WorkloadTrace::generate(bm, chip.blocks(), &short_config()).unwrap();
+        for b in 0..trace.num_blocks() {
+            let nominal = chip.blocks()[b].nominal_power();
+            for s in 0..trace.num_steps() {
+                let i = trace.current(b, s);
+                assert!(i > 0.0, "current must include leakage");
+                assert!(i <= nominal / 1.0 + 1e-12, "current exceeds nominal power");
+            }
+        }
+    }
+
+    #[test]
+    fn gating_produces_large_swings() {
+        // Over a long enough window, a gateable execution block should see
+        // a large max/min current ratio (di/dt events).
+        let chip = chip();
+        let bm = &parsec_like_suite()[12]; // x264: highest gating rate
+        let cfg = TraceConfig {
+            duration_ns: 3000.0,
+            ..TraceConfig::default()
+        };
+        let trace = WorkloadTrace::generate(bm, chip.blocks(), &cfg).unwrap();
+        let gateable_idx = chip
+            .blocks()
+            .iter()
+            .position(|b| b.kind().is_gateable())
+            .unwrap();
+        let wf = trace.block_waveform(gateable_idx);
+        let max = wf.iter().copied().fold(0.0, f64::max);
+        let min = wf.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 3.0, "expected gating swings, got {min}..{max}");
+    }
+
+    #[test]
+    fn total_current_sums_blocks() {
+        let chip = chip();
+        let bm = &parsec_like_suite()[0];
+        let trace = WorkloadTrace::generate(bm, chip.blocks(), &short_config()).unwrap();
+        let manual: f64 = (0..trace.num_blocks()).map(|b| trace.current(b, 10)).sum();
+        assert!((trace.total_current(10) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let chip = chip();
+        let bm = &parsec_like_suite()[0];
+        let mut cfg = TraceConfig::default();
+        cfg.dt_ns = 0.0;
+        assert!(WorkloadTrace::generate(bm, chip.blocks(), &cfg).is_err());
+        let mut cfg = TraceConfig::default();
+        cfg.control_interval_ns = 0.1; // smaller than dt
+        assert!(WorkloadTrace::generate(bm, chip.blocks(), &cfg).is_err());
+        assert!(WorkloadTrace::generate(bm, &[], &TraceConfig::default()).is_err());
+    }
+
+    #[test]
+    fn waveforms_vary_over_time() {
+        let chip = chip();
+        let bm = &parsec_like_suite()[0];
+        let trace = WorkloadTrace::generate(bm, chip.blocks(), &short_config()).unwrap();
+        let wf = trace.block_waveform(0);
+        let first = wf[0];
+        assert!(
+            wf.iter().any(|&v| (v - first).abs() > 1e-6),
+            "waveform is flat"
+        );
+    }
+}

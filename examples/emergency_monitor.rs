@@ -1,0 +1,85 @@
+//! Runtime emergency monitoring: deploy the fitted model as an online
+//! detector and stream unseen voltage maps through it, comparing against a
+//! direct-threshold Eagle-Eye deployment with the same sensor budget.
+//!
+//! Run with: `cargo run --release --example emergency_monitor`
+
+use voltsense::core::{detection, Methodology, MethodologyConfig};
+use voltsense::eagleeye::{EagleEyeConfig, EagleEyePlacement};
+use voltsense::scenario::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::small()?;
+
+    // Train on four benchmarks; monitor a *different* one (x264, the most
+    // gating-heavy of the suite).
+    let train = scenario.collect(&[0, 3, 6, 9])?;
+    let monitor = scenario.collect(&[12])?;
+    let config = MethodologyConfig {
+        lambda: 10.0,
+        ..MethodologyConfig::default()
+    };
+    let fitted = Methodology::fit(&train.x, &train.f, &config)?;
+    let q = fitted.sensors().len();
+    let eagle = EagleEyePlacement::place(&train.x, &train.f, q, &EagleEyeConfig::default())?;
+    println!(
+        "deployed {} sensors; monitoring benchmark {} ({} samples)",
+        q,
+        scenario.suite()[12],
+        monitor.num_samples()
+    );
+
+    // Stream samples one at a time, as a runtime monitor would.
+    let threshold = fitted.emergency_threshold();
+    let mut events = Vec::new();
+    let mut proposed_alarms = Vec::new();
+    let mut eagle_alarms = Vec::new();
+    for s in 0..monitor.num_samples() {
+        let candidates = monitor.x.col(s);
+        let truth = (0..monitor.f.rows()).any(|k| monitor.f[(k, s)] < threshold);
+        let alarm = fitted.model().detect(&candidates, threshold)?;
+        let eagle_alarm = eagle.detect(&candidates);
+        if truth || alarm || eagle_alarm {
+            events.push((s, truth, alarm, eagle_alarm));
+        }
+        proposed_alarms.push(alarm);
+        eagle_alarms.push(eagle_alarm);
+    }
+
+    println!("\nevent log (sample, real emergency, proposed alarm, eagle-eye alarm):");
+    for (s, truth, alarm, eagle_alarm) in events.iter().take(15) {
+        println!(
+            "  #{s:<5} real={} proposed={} eagle={}",
+            mark(*truth),
+            mark(*alarm),
+            mark(*eagle_alarm)
+        );
+    }
+    if events.len() > 15 {
+        println!("  … and {} more events", events.len() - 15);
+    }
+
+    let truth: Vec<bool> = (0..monitor.num_samples())
+        .map(|s| (0..monitor.f.rows()).any(|k| monitor.f[(k, s)] < threshold))
+        .collect();
+    let ours = detection::evaluate(&truth, &proposed_alarms)?;
+    let theirs = detection::evaluate(&truth, &eagle_alarms)?;
+    println!("\n            {:>10} {:>10} {:>10}", "ME", "WAE", "TE");
+    println!(
+        "proposed    {:>10.4} {:>10.4} {:>10.4}",
+        ours.miss_rate, ours.wrong_alarm_rate, ours.total_error_rate
+    );
+    println!(
+        "eagle-eye   {:>10.4} {:>10.4} {:>10.4}",
+        theirs.miss_rate, theirs.wrong_alarm_rate, theirs.total_error_rate
+    );
+    Ok(())
+}
+
+fn mark(b: bool) -> &'static str {
+    if b {
+        "YES"
+    } else {
+        " — "
+    }
+}

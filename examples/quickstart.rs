@@ -1,0 +1,75 @@
+//! Quickstart: the whole methodology in ~40 lines.
+//!
+//! Builds a small two-core chip, simulates three benchmarks on its power
+//! grid, places sensors with the group lasso, refits the OLS voltage-map
+//! model, and reports held-out accuracy and detection rates.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use voltsense::core::{Methodology, MethodologyConfig};
+use voltsense::scenario::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A chip: 2 cores x 30 function blocks, power grid overlaid.
+    let scenario = Scenario::small()?;
+    println!(
+        "chip: {} cores, {} blocks, {} grid nodes, {} sensor candidates",
+        scenario.chip().cores().len(),
+        scenario.chip().blocks().len(),
+        scenario.chip().lattice().len(),
+        scenario.candidate_nodes().len(),
+    );
+
+    // 2. Training data: full-chip voltage maps from transient simulation.
+    let data = scenario.collect(&[0, 6, 12])?;
+    println!(
+        "collected {} voltage maps ({} candidates x {} critical nodes)",
+        data.num_samples(),
+        data.num_candidates(),
+        data.num_blocks()
+    );
+    let (train, test) = data.split(3);
+
+    // 3. Fit: group-lasso selection + OLS refit.
+    let config = MethodologyConfig {
+        lambda: 10.0,
+        ..MethodologyConfig::default()
+    };
+    let fitted = Methodology::fit(&train.x, &train.f, &config)?;
+    println!(
+        "selected {} sensors (budget λ = {}, consumed {:.3})",
+        fitted.sensors().len(),
+        config.lambda,
+        fitted.selection().budget_used,
+    );
+
+    // 4. Evaluate on held-out maps.
+    let report = fitted.evaluate(&test.x, &test.f)?;
+    println!(
+        "held-out relative error: {:.3e}  (rms {:.2} mV, worst {:.2} mV)",
+        report.relative_error,
+        report.rms_error * 1e3,
+        report.max_abs_error * 1e3
+    );
+    println!(
+        "detection @ {:.2} V: ME {:.4}, WAE {:.4}, TE {:.4} ({} emergencies in {} samples)",
+        fitted.emergency_threshold(),
+        report.detection.miss_rate,
+        report.detection.wrong_alarm_rate,
+        report.detection.total_error_rate,
+        report.detection.emergencies,
+        report.detection.samples
+    );
+
+    // 5. Runtime use: one prediction from the placed sensors only.
+    let sample = test.x.col(0);
+    let readings: Vec<f64> = fitted.sensors().iter().map(|&s| sample[s]).collect();
+    let predicted = fitted.model().predict_from_sensors(&readings)?;
+    let worst = predicted.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "runtime: from {} sensor readings, predicted worst block voltage {:.4} V",
+        readings.len(),
+        worst
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Sensor-budget exploration: the designer workflow of the paper's
+//! Section 2.4 — sweep λ over a large range and read off the sensor-count
+//! versus prediction-accuracy trade-off (the basis of its Table 1).
+//!
+//! Run with: `cargo run --release --example sensor_budget_exploration`
+
+use voltsense::core::{Methodology, MethodologyConfig};
+use voltsense::scenario::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::small()?;
+    let data = scenario.collect(&[0, 4, 9, 14])?;
+    let (train, test) = data.split(3);
+    println!(
+        "training on {} maps, evaluating on {} (M = {} candidates, K = {} blocks)",
+        train.num_samples(),
+        test.num_samples(),
+        data.num_candidates(),
+        data.num_blocks()
+    );
+    println!();
+    println!("{:>8}  {:>9}  {:>12}  {:>10}  {:>8}", "lambda", "sensors", "rel err", "rms (mV)", "TE rate");
+    println!("{}", "-".repeat(56));
+
+    for lambda in [2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+        let config = MethodologyConfig {
+            lambda,
+            ..MethodologyConfig::default()
+        };
+        match Methodology::fit(&train.x, &train.f, &config) {
+            Ok(fitted) => {
+                let report = fitted.evaluate(&test.x, &test.f)?;
+                println!(
+                    "{lambda:>8.1}  {:>9}  {:>12.3e}  {:>10.3}  {:>8.4}",
+                    fitted.sensors().len(),
+                    report.relative_error,
+                    report.rms_error * 1e3,
+                    report.detection.total_error_rate,
+                );
+            }
+            Err(e) => println!("{lambda:>8.1}  fit failed: {e}"),
+        }
+    }
+    println!();
+    println!(
+        "pick the smallest λ whose accuracy meets the design target — the\n\
+         error budget is the designer's knob, the sensor count the cost."
+    );
+    Ok(())
+}

@@ -1,0 +1,165 @@
+//! Cross-crate consistency checks: independent implementations must agree
+//! on real (simulated) data, not just on toy matrices.
+
+use voltsense::core::{SensorSelector, VoltageMapModel};
+use voltsense::grouplasso::{
+    kkt_violation, solve_penalized, solve_penalized_fista, GlOptions, GlProblem,
+};
+use voltsense::linalg::stats::Normalizer;
+use voltsense::linalg::{lstsq, Matrix};
+use voltsense::scenario::Scenario;
+use voltsense::sparse::{cg, EnvelopeCholesky, TripletMatrix};
+
+fn scenario_data() -> (Matrix, Matrix) {
+    let s = Scenario::small().expect("scenario builds");
+    let data = s.collect(&[0]).expect("simulation succeeds");
+    (data.x, data.f)
+}
+
+#[test]
+fn direct_and_iterative_solvers_agree_on_grid_matrix() {
+    // Rebuild a grid-like SPD matrix at the scenario's scale and compare
+    // the two sparse solvers.
+    let n = 300;
+    let mut t = TripletMatrix::new(n, n);
+    for i in 0..n {
+        if i + 1 < n {
+            t.stamp_conductance(i, i + 1, 4.0);
+        }
+        if i + 20 < n {
+            t.stamp_conductance(i, i + 20, 4.0);
+        }
+        if i % 25 == 0 {
+            t.stamp_grounded_conductance(i, 1.5);
+        }
+    }
+    let a = t.to_csr();
+    let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.01).sin()).collect();
+    let direct = EnvelopeCholesky::factor(&a).unwrap().solve(&b).unwrap();
+    let iterative = cg::solve(
+        &a,
+        &b,
+        &cg::CgOptions {
+            tolerance: 1e-12,
+            max_iterations: Some(20 * n),
+            ..cg::CgOptions::default()
+        },
+    )
+    .unwrap();
+    for (d, i) in direct.iter().zip(&iterative.x) {
+        assert!((d - i).abs() < 1e-6, "{d} vs {i}");
+    }
+}
+
+#[test]
+fn bcd_and_fista_agree_on_simulated_voltages() {
+    let (x, f) = scenario_data();
+    // Use a candidate subset to keep FISTA fast.
+    let rows: Vec<usize> = (0..x.rows()).step_by(7).collect();
+    let x = x.select_rows(&rows);
+    let f_rows: Vec<usize> = (0..f.rows()).step_by(4).collect();
+    let f = f.select_rows(&f_rows);
+
+    let z = Normalizer::fit(&x).apply(&x).unwrap();
+    let g = Normalizer::fit(&f).apply(&f).unwrap();
+    let p = GlProblem::from_data(&z, &g).unwrap();
+    let mu = p.mu_max() * 0.3;
+    let opts = GlOptions {
+        max_sweeps: 50_000,
+        tolerance: 1e-7,
+        ..GlOptions::default()
+    };
+    let bcd = solve_penalized(&p, mu, &opts, None).unwrap();
+    let fista = solve_penalized_fista(&p, mu, &opts, None).unwrap();
+    let scale = bcd.objective.abs().max(1.0);
+    assert!(
+        (bcd.objective - fista.objective).abs() < 1e-3 * scale,
+        "objectives diverge: bcd {} vs fista {}",
+        bcd.objective,
+        fista.objective
+    );
+    // KKT check validates both against the optimality conditions.
+    assert!(kkt_violation(&p, &bcd.beta, mu).unwrap() < 1e-5 * p.mu_max());
+}
+
+#[test]
+fn voltage_map_model_matches_manual_normal_equations() {
+    let (x, f) = scenario_data();
+    let sensors: Vec<usize> = vec![0, x.rows() / 2, x.rows() - 1];
+    let model = VoltageMapModel::fit(&x, &f, &sensors).unwrap();
+    // Manual OLS through the public linalg API.
+    let x_sel = x.select_rows(&sensors);
+    let manual = lstsq::ols_with_intercept(&x_sel, &f).unwrap();
+    assert!(model
+        .linear_fit()
+        .coefficients
+        .approx_eq(&manual.coefficients, 1e-9));
+    // Predictions agree on a sample.
+    let sample = x.col(5);
+    let via_model = model.predict_from_candidates(&sample).unwrap();
+    let readings: Vec<f64> = sensors.iter().map(|&s| sample[s]).collect();
+    let via_manual = manual.predict(&readings).unwrap();
+    for (a, b) in via_model.iter().zip(&via_manual) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn selection_is_stable_across_solver_tolerances() {
+    // Tightening the solver tolerance must keep the selected support
+    // essentially the same (the support is the methodology's real
+    // output). Candidates on a power grid are near-duplicates, so swaps
+    // between statistically-equivalent neighbours are allowed; wholesale
+    // changes are not.
+    let (x, f) = scenario_data();
+    let rows: Vec<usize> = (0..x.rows()).step_by(5).collect();
+    let x = x.select_rows(&rows);
+
+    let loose = SensorSelector::with_options(
+        5.0,
+        1e-3,
+        GlOptions {
+            tolerance: 1e-4,
+            ..GlOptions::default()
+        },
+    )
+    .unwrap()
+    .select(&x, &f)
+    .unwrap();
+    let tight = SensorSelector::with_options(
+        5.0,
+        1e-3,
+        GlOptions {
+            tolerance: 1e-6,
+            max_sweeps: 20_000,
+            ..GlOptions::default()
+        },
+    )
+    .unwrap()
+    .select(&x, &f)
+    .unwrap();
+    let loose_set: std::collections::BTreeSet<usize> = loose.selected.iter().copied().collect();
+    let tight_set: std::collections::BTreeSet<usize> = tight.selected.iter().copied().collect();
+    let overlap = loose_set.intersection(&tight_set).count() as f64;
+    let union = loose_set.union(&tight_set).count() as f64;
+    assert!(
+        overlap / union >= 0.7,
+        "supports diverged: loose {loose_set:?} vs tight {tight_set:?}"
+    );
+    let diff = (loose.selected.len() as i64 - tight.selected.len() as i64).abs();
+    assert!(diff <= 2, "selected counts diverged by {diff}");
+}
+
+#[test]
+fn normalization_round_trips_through_selection() {
+    let (x, f) = scenario_data();
+    let selector = SensorSelector::new(5.0, 1e-3).unwrap();
+    let result = selector.select(&x, &f).unwrap();
+    // The stored normalizers must reproduce X and F exactly.
+    let z = result.x_normalizer.apply(&x).unwrap();
+    let back = result.x_normalizer.invert(&z).unwrap();
+    assert!(back.approx_eq(&x, 1e-9));
+    let g = result.f_normalizer.apply(&f).unwrap();
+    let back_f = result.f_normalizer.invert(&g).unwrap();
+    assert!(back_f.approx_eq(&f, 1e-9));
+}

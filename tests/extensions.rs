@@ -1,0 +1,177 @@
+//! Integration tests for the paper-extension features: multiple
+//! representatives per block, function-area sensor sites, per-core
+//! partitioning of extended datasets, and λ cross-validation on real data.
+
+use voltsense::core::{Methodology, MethodologyConfig};
+use voltsense::floorplan::NodeSite;
+use voltsense::grouplasso::{cross_validate, GlOptions};
+use voltsense::linalg::stats::Normalizer;
+use voltsense::scenario::{CollectOptions, CorePartition, Scenario, SensorSites};
+
+fn scenario() -> Scenario {
+    Scenario::small().expect("scenario builds")
+}
+
+#[test]
+fn anywhere_candidates_superset_blank_area() {
+    let s = scenario();
+    let ba = s.collect(&[0]).expect("BA collect");
+    let fa = s
+        .collect_with(
+            &[0],
+            &CollectOptions {
+                sensor_sites: SensorSites::Anywhere,
+                ..CollectOptions::default()
+            },
+        )
+        .expect("FA collect");
+    assert_eq!(fa.num_candidates(), s.chip().lattice().len());
+    assert!(fa.num_candidates() > ba.num_candidates());
+    assert!(fa.has_fa_candidates(s.chip()));
+    assert!(!ba.has_fa_candidates(s.chip()));
+    // Same samples either way.
+    assert_eq!(fa.num_samples(), ba.num_samples());
+}
+
+#[test]
+fn fa_candidates_allow_trivial_self_prediction() {
+    // With FA candidates allowed, the critical nodes themselves are in X,
+    // so an OLS refit on them must be (numerically) exact.
+    let s = scenario();
+    let data = s
+        .collect_with(
+            &[0],
+            &CollectOptions {
+                sensor_sites: SensorSites::Anywhere,
+                ..CollectOptions::default()
+            },
+        )
+        .expect("collect");
+    // Find the candidate rows of the first three critical nodes.
+    let sensors: Vec<usize> = data.critical_nodes[..3]
+        .iter()
+        .map(|cn| {
+            data.candidate_nodes
+                .iter()
+                .position(|c| c == cn)
+                .expect("critical node is a candidate under Anywhere")
+        })
+        .collect();
+    let model =
+        voltsense::core::VoltageMapModel::fit(&data.x.select_rows(&sensors), &data.f.select_rows(&[0, 1, 2]), &[0, 1, 2])
+            .expect("fit");
+    assert!(model.rms_residual() < 1e-10, "self-prediction not exact");
+}
+
+#[test]
+fn representatives_scale_k_up_to_block_capacity() {
+    let s = scenario();
+    let one = s.collect(&[0]).expect("collect");
+    let two = s
+        .collect_with(
+            &[0],
+            &CollectOptions {
+                representatives_per_block: 2,
+                ..CollectOptions::default()
+            },
+        )
+        .expect("collect");
+    // Small-chip blocks hold >= 1 lattice node; K never shrinks and every
+    // row still maps into its block.
+    assert!(two.num_blocks() >= one.num_blocks());
+    assert_eq!(two.row_blocks.len(), two.num_blocks());
+    let lattice = s.chip().lattice();
+    for (node, block) in two.critical_nodes.iter().zip(&two.row_blocks) {
+        match lattice.site(*node) {
+            NodeSite::FunctionArea(owner) => assert_eq!(owner, *block),
+            other => panic!("critical node in blank area: {other:?}"),
+        }
+    }
+    // Representatives of the same block are distinct nodes.
+    for b in 0..one.num_blocks() {
+        let nodes: Vec<_> = two
+            .row_blocks
+            .iter()
+            .zip(&two.critical_nodes)
+            .filter(|(rb, _)| rb.0 == b)
+            .map(|(_, n)| n)
+            .collect();
+        let mut dedup = nodes.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), nodes.len(), "duplicate representative in block {b}");
+    }
+}
+
+#[test]
+fn zero_representatives_rejected() {
+    let s = scenario();
+    let r = s.collect_with(
+        &[0],
+        &CollectOptions {
+            representatives_per_block: 0,
+            ..CollectOptions::default()
+        },
+    );
+    assert!(r.is_err());
+}
+
+#[test]
+fn partition_for_extended_data_covers_all_rows() {
+    let s = scenario();
+    let data = s
+        .collect_with(
+            &[0],
+            &CollectOptions {
+                representatives_per_block: 2,
+                sensor_sites: SensorSites::Anywhere,
+            },
+        )
+        .expect("collect");
+    let partition = CorePartition::for_data(s.chip(), &data);
+    let cand_total: usize = (0..partition.num_cores())
+        .map(|c| partition.candidates_of(voltsense::floorplan::CoreId(c)).len())
+        .sum();
+    let block_total: usize = (0..partition.num_cores())
+        .map(|c| partition.blocks_of(voltsense::floorplan::CoreId(c)).len())
+        .sum();
+    assert_eq!(cand_total, data.num_candidates());
+    assert_eq!(block_total, data.num_blocks());
+}
+
+#[test]
+fn methodology_works_on_extended_dataset() {
+    let s = scenario();
+    let data = s
+        .collect_with(
+            &[0, 6],
+            &CollectOptions {
+                representatives_per_block: 2,
+                ..CollectOptions::default()
+            },
+        )
+        .expect("collect");
+    let (train, test) = data.split(3);
+    let fitted = Methodology::fit(&train.x, &train.f, &MethodologyConfig::default())
+        .expect("fit on extended data");
+    let report = fitted.evaluate(&test.x, &test.f).expect("evaluate");
+    assert!(report.relative_error < 0.02, "rel err {}", report.relative_error);
+}
+
+#[test]
+fn cross_validation_runs_on_simulated_data() {
+    let s = scenario();
+    let data = s.collect(&[0]).expect("collect");
+    // Subsample candidates to keep the CV quick.
+    let rows: Vec<usize> = (0..data.x.rows()).step_by(9).collect();
+    let x = data.x.select_rows(&rows);
+    let z = Normalizer::fit(&x).apply(&x).expect("normalize");
+    let g = Normalizer::fit(&data.f).apply(&data.f).expect("normalize");
+    let problem = voltsense::grouplasso::GlProblem::from_data(&z, &g).expect("problem");
+    let mu_max = problem.mu_max();
+    let mus: Vec<f64> = (1..=5).map(|i| mu_max * 0.3f64.powi(i)).collect();
+    let cv = cross_validate(&z, &g, &mus, 4, &GlOptions::default()).expect("cv");
+    // The CV error at the best penalty beats the harshest penalty.
+    assert!(cv.mean_errors[cv.best_index] < cv.mean_errors[0]);
+    assert!(cv.one_se_mu() >= cv.best_mu());
+}
