@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the voltsense workspace. Runs fully offline: the
+# workspace has zero external dependencies (see DESIGN.md §3), so a failure
+# here is a real build/test failure, never a registry problem.
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline (all targets + doctests)"
+cargo test -q --offline
+
+echo "==> cargo bench --no-run --offline (bench targets must compile)"
+cargo bench --no-run --offline
+
+echo "==> dependency policy: no external crates in any manifest"
+if grep -rEn 'rand|proptest|criterion' Cargo.toml crates/*/Cargo.toml; then
+    echo "ERROR: external dependency reference found in a manifest" >&2
+    exit 1
+fi
+
+echo "CI gate passed."

@@ -1,10 +1,11 @@
-//! Criterion bench: group-lasso solver scaling (BCD vs FISTA) in the
-//! candidate count M — the design-time cost of the methodology.
+//! Bench: group-lasso solver scaling (BCD vs FISTA) in the candidate count
+//! M — the design-time cost of the methodology. Testkit timer, JSON report
+//! in `results/bench_gl_solver.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use voltsense::grouplasso::{solve_penalized, solve_penalized_fista, GlOptions, GlProblem};
 use voltsense::linalg::Matrix;
 use voltsense::workload::GaussianRng;
+use voltsense_testkit::bench::BenchTimer;
 
 /// Synthetic normalized problem with `m` candidates, `k` targets, `n`
 /// samples; targets are mixtures of a few candidates plus noise — the
@@ -26,23 +27,20 @@ fn problem(m: usize, k: usize, n: usize, seed: u64) -> GlProblem {
     GlProblem::from_data(&z, &g).expect("valid problem")
 }
 
-fn bench_solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gl_solver");
+fn main() {
+    let mut timer = BenchTimer::new("gl_solver");
     for &m in &[50usize, 100, 200] {
         let p = problem(m, 30, 1000, 42);
         let mu = p.mu_max() * 0.3;
         let opts = GlOptions::default();
-        group.bench_with_input(BenchmarkId::new("bcd", m), &m, |bench, _| {
-            bench.iter(|| solve_penalized(&p, mu, &opts, None).expect("solve"));
+        timer.bench(&format!("bcd/{m}"), || {
+            solve_penalized(&p, mu, &opts, None).expect("solve")
         });
-        group.bench_with_input(BenchmarkId::new("fista", m), &m, |bench, _| {
-            bench.iter(|| solve_penalized_fista(&p, mu, &opts, None).expect("solve"));
+        timer.bench(&format!("fista/{m}"), || {
+            solve_penalized_fista(&p, mu, &opts, None).expect("solve")
         });
     }
-    group.finish();
-}
 
-fn bench_covariance_reduction(c: &mut Criterion) {
     // The one-time O(M²N) reduction that makes solves sample-count-free.
     let mut rng = GaussianRng::seed_from_u64(7);
     let m = 200;
@@ -55,10 +53,9 @@ fn bench_covariance_reduction(c: &mut Criterion) {
     for v in g.as_mut_slice() {
         *v = rng.sample();
     }
-    c.bench_function("gl_covariance_reduction_m200_n2000", |bench| {
-        bench.iter(|| GlProblem::from_data(&z, &g).expect("valid"));
+    timer.bench("covariance_reduction_m200_n2000", || {
+        GlProblem::from_data(&z, &g).expect("valid")
     });
-}
 
-criterion_group!(benches, bench_solvers, bench_covariance_reduction);
-criterion_main!(benches);
+    timer.finish().expect("write bench report");
+}

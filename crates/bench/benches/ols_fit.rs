@@ -1,10 +1,11 @@
-//! Criterion bench: the OLS refit cost as the selected sensor count Q
-//! grows — the per-design-point cost of the λ sweep.
+//! Bench: the OLS refit cost as the selected sensor count Q grows — the
+//! per-design-point cost of the λ sweep. Testkit timer, JSON report in
+//! `results/bench_ols_fit.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use voltsense::core::VoltageMapModel;
 use voltsense::linalg::Matrix;
 use voltsense::workload::GaussianRng;
+use voltsense_testkit::bench::BenchTimer;
 
 fn data(m: usize, k: usize, n: usize) -> (Matrix, Matrix) {
     let mut rng = GaussianRng::seed_from_u64(11);
@@ -22,17 +23,14 @@ fn data(m: usize, k: usize, n: usize) -> (Matrix, Matrix) {
     (x, f)
 }
 
-fn bench_refit(c: &mut Criterion) {
+fn main() {
     let (x, f) = data(256, 60, 2000);
-    let mut group = c.benchmark_group("ols_refit");
+    let mut timer = BenchTimer::new("ols_fit");
     for &q in &[2usize, 8, 32] {
         let sensors: Vec<usize> = (0..q).map(|i| i * (x.rows() / q)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |bench, _| {
-            bench.iter(|| VoltageMapModel::fit(&x, &f, &sensors).expect("fit"));
+        timer.bench(&format!("refit/q{q}"), || {
+            VoltageMapModel::fit(&x, &f, &sensors).expect("fit")
         });
     }
-    group.finish();
+    timer.finish().expect("write bench report");
 }
-
-criterion_group!(benches, bench_refit);
-criterion_main!(benches);

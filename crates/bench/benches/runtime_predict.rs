@@ -1,13 +1,14 @@
-//! Criterion bench: the *runtime* cost of the fitted monitor — one
-//! voltage-map prediction (and emergency decision) per sensor sample.
+//! Bench: the *runtime* cost of the fitted monitor — one voltage-map
+//! prediction (and emergency decision) per sensor sample.
 //!
 //! The paper's Section 2.4 claims runtime evaluation is "computationally
 //! cheap"; this bench quantifies it: a Q-sensor → K-block affine map.
+//! Testkit timer, JSON report in `results/bench_runtime_predict.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use voltsense::core::VoltageMapModel;
 use voltsense::linalg::Matrix;
 use voltsense::workload::GaussianRng;
+use voltsense_testkit::bench::BenchTimer;
 
 fn model(m: usize, k: usize, q: usize) -> (VoltageMapModel, Vec<f64>) {
     let mut rng = GaussianRng::seed_from_u64(3);
@@ -29,33 +30,25 @@ fn model(m: usize, k: usize, q: usize) -> (VoltageMapModel, Vec<f64>) {
     (model, readings)
 }
 
-fn bench_predict(c: &mut Criterion) {
-    let mut group = c.benchmark_group("runtime_predict");
+fn main() {
+    let mut timer = BenchTimer::new("runtime_predict");
     // Paper-scale: K = 240 blocks; Q = 16 sensors (2/core) and 56 (7/core).
     for &q in &[16usize, 56] {
         let (model, readings) = model(1024, 240, q);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("q{q}_k240")),
-            &(),
-            |bench, ()| {
-                bench.iter(|| model.predict_from_sensors(&readings).expect("predict"));
-            },
-        );
+        timer.bench(&format!("predict/q{q}_k240"), || {
+            model.predict_from_sensors(&readings).expect("predict")
+        });
     }
-    group.finish();
-}
 
-fn bench_detect(c: &mut Criterion) {
-    let (model, readings) = model(1024, 240, 16);
     // Full detection decision including the threshold scan.
+    let (model, readings) = model(1024, 240, 16);
     let mut candidates = vec![0.95; 1024];
     for (i, &s) in model.sensor_indices().iter().enumerate() {
         candidates[s] = readings[i];
     }
-    c.bench_function("runtime_detect_q16_k240", |bench| {
-        bench.iter(|| model.detect(&candidates, 0.85).expect("detect"));
+    timer.bench("detect/q16_k240", || {
+        model.detect(&candidates, 0.85).expect("detect")
     });
-}
 
-criterion_group!(benches, bench_predict, bench_detect);
-criterion_main!(benches);
+    timer.finish().expect("write bench report");
+}

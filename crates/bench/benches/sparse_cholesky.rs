@@ -1,12 +1,13 @@
-//! Criterion bench + ablation: sparse envelope Cholesky with and without
-//! the RCM ordering, on power-grid matrices of growing size.
+//! Bench + ablation: sparse envelope Cholesky with and without the RCM
+//! ordering, on power-grid matrices of growing size. Testkit timer, JSON
+//! report in `results/bench_sparse_cholesky.json`.
 //!
 //! DESIGN.md calls this ablation out: the envelope factorization cost is
 //! quadratic in the profile, so the ordering is what makes the transient
 //! engine's factor-once strategy viable.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use voltsense::sparse::{CsrMatrix, EnvelopeCholesky, TripletMatrix};
+use voltsense::sparse::{cg, CsrMatrix, EnvelopeCholesky, TripletMatrix};
+use voltsense_testkit::bench::BenchTimer;
 
 /// Grid Laplacian with pads, numbered row-major across the *long* axis —
 /// the worst natural ordering.
@@ -30,55 +31,33 @@ fn grid_matrix(w: usize, h: usize) -> CsrMatrix {
     t.to_csr()
 }
 
-fn bench_factor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sparse_cholesky_factor");
-    group.sample_size(20);
+fn main() {
+    let mut timer = BenchTimer::new("sparse_cholesky");
     for &(w, h) in &[(40usize, 20usize), (71, 32), (100, 50)] {
         let a = grid_matrix(w, h);
-        group.bench_with_input(
-            BenchmarkId::new("rcm", format!("{w}x{h}")),
-            &(),
-            |bench, ()| {
-                bench.iter(|| EnvelopeCholesky::factor(&a).expect("factor").profile_len());
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("natural", format!("{w}x{h}")),
-            &(),
-            |bench, ()| {
-                bench.iter(|| {
-                    EnvelopeCholesky::factor_natural(&a)
-                        .expect("factor")
-                        .profile_len()
-                });
-            },
-        );
+        timer.bench(&format!("factor_rcm/{w}x{h}"), || {
+            EnvelopeCholesky::factor(&a).expect("factor").profile_len()
+        });
+        timer.bench(&format!("factor_natural/{w}x{h}"), || {
+            EnvelopeCholesky::factor_natural(&a)
+                .expect("factor")
+                .profile_len()
+        });
     }
-    group.finish();
-}
 
-fn bench_solve(c: &mut Criterion) {
     // The per-timestep cost: one triangular solve on the factored matrix.
     let a = grid_matrix(71, 32);
     let chol = EnvelopeCholesky::factor(&a).expect("factor");
     let b: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.01).sin()).collect();
     let mut x = vec![0.0; a.rows()];
     let mut scratch = vec![0.0; a.rows()];
-    c.bench_function("sparse_cholesky_solve_71x32", |bench| {
-        bench.iter(|| {
-            chol.solve_into(&b, &mut x, &mut scratch).expect("solve");
-            x[0]
-        });
+    timer.bench("solve/71x32", || {
+        chol.solve_into(&b, &mut x, &mut scratch).expect("solve");
+        x[0]
     });
-}
 
-fn bench_cg_preconditioners(c: &mut Criterion) {
     // Ablation: Jacobi vs IC(0) preconditioning for the iterative path.
-    use voltsense::sparse::cg;
-    let a = grid_matrix(71, 32);
     let b: Vec<f64> = (0..a.rows()).map(|i| ((i % 11) as f64) - 5.0).collect();
-    let mut group = c.benchmark_group("cg_preconditioner");
-    group.sample_size(20);
     for (label, pre) in [
         ("jacobi", cg::Preconditioner::Jacobi),
         ("ic0", cg::Preconditioner::IncompleteCholesky),
@@ -88,12 +67,10 @@ fn bench_cg_preconditioners(c: &mut Criterion) {
             preconditioner: pre,
             ..cg::CgOptions::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |bench, ()| {
-            bench.iter(|| cg::solve(&a, &b, &opts).expect("converges").iterations);
+        timer.bench(&format!("cg_preconditioner/{label}"), || {
+            cg::solve(&a, &b, &opts).expect("converges").iterations
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_factor, bench_solve, bench_cg_preconditioners);
-criterion_main!(benches);
+    timer.finish().expect("write bench report");
+}

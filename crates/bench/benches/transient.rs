@@ -1,12 +1,13 @@
-//! Criterion bench: the power-grid transient engine — factor-once cost and
-//! per-timestep solve cost on the test and paper-scale chips.
+//! Bench: the power-grid transient engine — factor-once cost and
+//! per-timestep solve cost on the test and paper-scale chips. Testkit
+//! timer, JSON report in `results/bench_transient.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use voltsense::floorplan::{ChipConfig, ChipFloorplan};
 use voltsense::powergrid::{GridConfig, GridModel, TransientSimulator};
+use voltsense_testkit::bench::BenchTimer;
 
-fn bench_steps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transient_step");
+fn main() {
+    let mut timer = BenchTimer::new("transient");
     for (label, cfg) in [
         ("small_2core", ChipConfig::small_test()),
         ("paper_8core", ChipConfig::xeon_e5_like()),
@@ -16,26 +17,18 @@ fn bench_steps(c: &mut Criterion) {
         let idle = vec![0.0; chip.blocks().len()];
         let loads: Vec<f64> = chip.blocks().iter().map(|b| 0.5 * b.nominal_power()).collect();
         let mut sim = TransientSimulator::new(&model, 1.0, &idle).expect("sim");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{label}_{}nodes", model.num_nodes())),
-            &(),
-            |bench, ()| {
-                bench.iter(|| sim.step(&loads).expect("step").len());
-            },
-        );
+        timer.bench(&format!("step/{label}_{}nodes", model.num_nodes()), || {
+            sim.step(&loads).expect("step").len()
+        });
     }
-    group.finish();
-}
 
-fn bench_setup(c: &mut Criterion) {
     // Construction = stamping + RCM + envelope factorization + DC solve.
     let chip = ChipFloorplan::new(&ChipConfig::xeon_e5_like()).expect("chip");
     let model = GridModel::build(&chip, &GridConfig::default()).expect("grid");
     let idle = vec![0.0; chip.blocks().len()];
-    c.bench_function("transient_setup_paper_8core", |bench| {
-        bench.iter(|| TransientSimulator::new(&model, 1.0, &idle).expect("sim").dt_s());
+    timer.bench("setup/paper_8core", || {
+        TransientSimulator::new(&model, 1.0, &idle).expect("sim").dt_s()
     });
-}
 
-criterion_group!(benches, bench_steps, bench_setup);
-criterion_main!(benches);
+    timer.finish().expect("write bench report");
+}

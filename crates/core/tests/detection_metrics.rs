@@ -1,0 +1,161 @@
+//! Hand-computed checks of the paper's Section 3.2 detection metrics at
+//! the 0.85 V emergency threshold, driven through the public pipeline:
+//! critical-voltage matrices → `ground_truth` → `evaluate`.
+//!
+//! Every expected rate below is derived from an explicit confusion matrix
+//! written out in the comments, so a regression in either the labelling
+//! or the rate arithmetic fails with an exact count.
+
+use voltsense_core::detection::{evaluate, ground_truth};
+use voltsense_core::metrics::{max_abs_error, relative_error, rms_error};
+use voltsense_linalg::Matrix;
+
+const THRESHOLD: f64 = 0.85;
+
+/// 2 critical nodes × 6 samples. A sample is an emergency when *any* node
+/// dips below 0.85 V.
+///
+/// sample:   0      1      2      3      4      5
+/// node 0:   0.95   0.84   0.95   0.86   0.80   0.95
+/// node 1:   0.95   0.95   0.83   0.95   0.79   0.85
+/// truth:    no     YES    YES    no     YES    no    (0.85 itself is safe)
+fn actual_voltages() -> Matrix {
+    Matrix::from_rows(&[
+        &[0.95, 0.84, 0.95, 0.86, 0.80, 0.95],
+        &[0.95, 0.95, 0.83, 0.95, 0.79, 0.85],
+    ])
+    .unwrap()
+}
+
+#[test]
+fn ground_truth_labels_any_node_dip_and_treats_threshold_as_safe() {
+    let truth = ground_truth(&actual_voltages(), THRESHOLD);
+    assert_eq!(truth, vec![false, true, true, false, true, false]);
+}
+
+#[test]
+fn imperfect_predictor_confusion_matrix() {
+    // Predicted map: misses the shallow sample-2 dip (predicts 0.86 where
+    // the grid really sat at 0.83) and falsely alarms on sample 3
+    // (predicts 0.84 where the grid sat at 0.86).
+    //
+    // sample:    0      1      2      3      4      5
+    // node 0:    0.95   0.84   0.95   0.84   0.81   0.95
+    // node 1:    0.95   0.95   0.86   0.95   0.80   0.86
+    // alarm:     no     YES    no     YES    YES    no
+    //
+    // Against truth [no, YES, YES, no, YES, no]:
+    //   emergencies = 3 (samples 1, 2, 4), misses    = 1 (sample 2)
+    //   quiet       = 3 (samples 0, 3, 5), wrong alarms = 1 (sample 3)
+    //   ME  = 1/3, WAE = 1/3, TE = 2/6 = 1/3
+    let predicted = Matrix::from_rows(&[
+        &[0.95, 0.84, 0.95, 0.84, 0.81, 0.95],
+        &[0.95, 0.95, 0.86, 0.95, 0.80, 0.86],
+    ])
+    .unwrap();
+
+    let truth = ground_truth(&actual_voltages(), THRESHOLD);
+    let alarms = ground_truth(&predicted, THRESHOLD);
+    assert_eq!(alarms, vec![false, true, false, true, true, false]);
+
+    let o = evaluate(&truth, &alarms).unwrap();
+    assert_eq!(o.samples, 6);
+    assert_eq!(o.emergencies, 3);
+    assert_eq!(o.misses, 1);
+    assert_eq!(o.wrong_alarms, 1);
+    assert!((o.miss_rate - 1.0 / 3.0).abs() < 1e-15);
+    assert!((o.wrong_alarm_rate - 1.0 / 3.0).abs() < 1e-15);
+    assert!((o.total_error_rate - 1.0 / 3.0).abs() < 1e-15);
+}
+
+#[test]
+fn all_emergency_workload_defines_wae_as_zero() {
+    // Every sample dips below 0.85 V somewhere → no quiet samples, so the
+    // WAE denominator is empty and the rate is defined as 0.
+    //
+    // The detector catches 3 of 4: ME = 1/4, TE = 1/4.
+    let f = Matrix::from_rows(&[
+        &[0.84, 0.95, 0.80, 0.95],
+        &[0.95, 0.82, 0.95, 0.849],
+    ])
+    .unwrap();
+    let truth = ground_truth(&f, THRESHOLD);
+    assert_eq!(truth, vec![true; 4]);
+
+    let alarms = [true, true, false, true];
+    let o = evaluate(&truth, &alarms).unwrap();
+    assert_eq!(o.emergencies, 4);
+    assert_eq!(o.misses, 1);
+    assert_eq!(o.wrong_alarms, 0);
+    assert_eq!(o.wrong_alarm_rate, 0.0);
+    assert_eq!(o.miss_rate, 0.25);
+    assert_eq!(o.total_error_rate, 0.25);
+}
+
+#[test]
+fn no_emergency_workload_defines_me_as_zero() {
+    // Quiet grid: nothing below 0.85 V → no emergencies, ME denominator
+    // empty, rate defined as 0. A jumpy detector alarming on 2 of 5 quiet
+    // samples gets WAE = 2/5 = TE.
+    let f = Matrix::from_rows(&[
+        &[0.95, 0.90, 0.88, 0.86, 0.85],
+        &[0.99, 0.97, 0.92, 0.91, 0.90],
+    ])
+    .unwrap();
+    let truth = ground_truth(&f, THRESHOLD);
+    assert_eq!(truth, vec![false; 5]);
+
+    let alarms = [false, true, false, true, false];
+    let o = evaluate(&truth, &alarms).unwrap();
+    assert_eq!(o.emergencies, 0);
+    assert_eq!(o.miss_rate, 0.0);
+    assert_eq!(o.wrong_alarms, 2);
+    assert!((o.wrong_alarm_rate - 0.4).abs() < 1e-15);
+    assert!((o.total_error_rate - 0.4).abs() < 1e-15);
+}
+
+#[test]
+fn prediction_metrics_match_hand_computed_values() {
+    // actual:    [0.90  0.80]     predicted:  [0.91  0.78]
+    //            [0.85  0.95]                 [0.85  0.99]
+    // diff:      [0.01 -0.02]
+    //            [0.00  0.04]
+    // ‖diff‖_F = sqrt(1e-4 + 4e-4 + 0 + 16e-4) = sqrt(21e-4)
+    // ‖actual‖_F = sqrt(0.81 + 0.64 + 0.7225 + 0.9025) = sqrt(3.075)
+    let actual = Matrix::from_rows(&[&[0.90, 0.80], &[0.85, 0.95]]).unwrap();
+    let predicted = Matrix::from_rows(&[&[0.91, 0.78], &[0.85, 0.99]]).unwrap();
+
+    let diff_norm = (21e-4f64).sqrt();
+    let rel = relative_error(&predicted, &actual).unwrap();
+    assert!((rel - diff_norm / 3.075f64.sqrt()).abs() < 1e-12);
+
+    let mae = max_abs_error(&predicted, &actual).unwrap();
+    assert!((mae - 0.04).abs() < 1e-12);
+
+    let rms = rms_error(&predicted, &actual).unwrap();
+    assert!((rms - diff_norm / 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn guardbanded_prediction_trades_wae_for_me() {
+    // Subtracting a 0.02 V guardband from every prediction can only add
+    // alarms: misses never increase, wrong alarms never decrease. On the
+    // imperfect predictor above the guardband recovers the missed
+    // sample-2 emergency (0.86 − 0.02 < 0.85) but newly alarms on quiet
+    // sample 5 (predicted 0.86), so WAE grows from 1 to 2 wrong alarms.
+    let predicted = Matrix::from_rows(&[
+        &[0.95, 0.84, 0.95, 0.84, 0.81, 0.95],
+        &[0.95, 0.95, 0.86, 0.95, 0.80, 0.86],
+    ])
+    .unwrap();
+    let truth = ground_truth(&actual_voltages(), THRESHOLD);
+
+    let plain = evaluate(&truth, &ground_truth(&predicted, THRESHOLD)).unwrap();
+    let guarded_alarms = ground_truth(&predicted, THRESHOLD + 0.02);
+    let guarded = evaluate(&truth, &guarded_alarms).unwrap();
+
+    assert!(guarded.misses <= plain.misses);
+    assert!(guarded.wrong_alarms >= plain.wrong_alarms);
+    assert_eq!(guarded.misses, 0);
+    assert_eq!(guarded.wrong_alarms, 2);
+}

@@ -1,75 +1,89 @@
-//! Property-based tests for geometry and floorplan invariants.
+//! Property-based tests for geometry and floorplan invariants (testkit
+//! harness: 64 deterministic seeded cases per property, greedy shrinking).
 
-use proptest::prelude::*;
 use voltsense_floorplan::{ChipConfig, ChipFloorplan, NodeSite, Point, Rect};
+use voltsense_testkit::{f64_range, forall, usize_range};
 
-fn rect() -> impl Strategy<Value = Rect> {
-    (0.0..500.0f64, 0.0..500.0f64, 1.0..500.0f64, 1.0..500.0f64)
-        .prop_map(|(x, y, w, h)| Rect::from_origin_size(Point::new(x, y), w, h))
+/// Builds the chip config the suite explores; called with shrinkable
+/// primitives so failing cases reduce to the fewest, smallest cores.
+fn chip_config(cx: usize, cy: usize, core_w: f64, pitch: f64) -> ChipConfig {
+    ChipConfig {
+        cores_x: cx,
+        cores_y: cy,
+        core_width: core_w,
+        core_height: core_w * 0.8,
+        channel_fraction: 0.2,
+        core_spacing: 200.0,
+        periphery: 200.0,
+        grid_pitch: pitch,
+    }
 }
 
-/// A random but valid chip configuration.
-fn chip_config() -> impl Strategy<Value = ChipConfig> {
-    (1usize..4, 1usize..3, 1200.0..2400.0f64, 80.0..140.0f64).prop_map(
-        |(cx, cy, core_w, pitch)| ChipConfig {
-            cores_x: cx,
-            cores_y: cy,
-            core_width: core_w,
-            core_height: core_w * 0.8,
-            channel_fraction: 0.2,
-            core_spacing: 200.0,
-            periphery: 200.0,
-            grid_pitch: pitch,
-        },
-    )
+#[test]
+fn rect_center_is_inside() {
+    forall!(cases = 64, (x in f64_range(0.0, 500.0), y in f64_range(0.0, 500.0),
+                         w in f64_range(1.0, 500.0), h in f64_range(1.0, 500.0)) => {
+        let r = Rect::from_origin_size(Point::new(x, y), w, h);
+        assert!(r.contains(r.center()));
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn rect_overlap_is_symmetric() {
+    forall!(cases = 64, (ax in f64_range(0.0, 500.0), ay in f64_range(0.0, 500.0),
+                         aw in f64_range(1.0, 500.0), ah in f64_range(1.0, 500.0),
+                         bx in f64_range(0.0, 500.0), by in f64_range(0.0, 500.0),
+                         bw in f64_range(1.0, 500.0), bh in f64_range(1.0, 500.0)) => {
+        let a = Rect::from_origin_size(Point::new(ax, ay), aw, ah);
+        let b = Rect::from_origin_size(Point::new(bx, by), bw, bh);
+        assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    });
+}
 
-    #[test]
-    fn rect_center_is_inside(r in rect()) {
-        prop_assert!(r.contains(r.center()));
-    }
-
-    #[test]
-    fn rect_overlap_is_symmetric(a in rect(), b in rect()) {
-        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
-    }
-
-    #[test]
-    fn rect_translation_preserves_area(r in rect(), dx in -100.0..100.0f64, dy in -100.0..100.0f64) {
+#[test]
+fn rect_translation_preserves_area() {
+    forall!(cases = 64, (x in f64_range(0.0, 500.0), y in f64_range(0.0, 500.0),
+                         w in f64_range(1.0, 500.0), h in f64_range(1.0, 500.0),
+                         dx in f64_range(-100.0, 100.0), dy in f64_range(-100.0, 100.0)) => {
+        let r = Rect::from_origin_size(Point::new(x, y), w, h);
         let t = r.translated(dx, dy);
-        prop_assert!((t.area() - r.area()).abs() < 1e-9);
-        prop_assert!((t.width() - r.width()).abs() < 1e-12);
-    }
+        assert!((t.area() - r.area()).abs() < 1e-9);
+        assert!((t.width() - r.width()).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn distance_is_a_metric(ax in 0.0..100.0f64, ay in 0.0..100.0f64,
-                            bx in 0.0..100.0f64, by in 0.0..100.0f64,
-                            cx in 0.0..100.0f64, cy in 0.0..100.0f64) {
+#[test]
+fn distance_is_a_metric() {
+    forall!(cases = 64, (ax in f64_range(0.0, 100.0), ay in f64_range(0.0, 100.0),
+                         bx in f64_range(0.0, 100.0), by in f64_range(0.0, 100.0),
+                         cx in f64_range(0.0, 100.0), cy in f64_range(0.0, 100.0)) => {
         let a = Point::new(ax, ay);
         let b = Point::new(bx, by);
         let c = Point::new(cx, cy);
-        prop_assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-12);
-        prop_assert!(a.distance_to(a) == 0.0);
-        prop_assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9);
-    }
+        assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-12);
+        assert!(a.distance_to(a) == 0.0);
+        assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9);
+    });
+}
 
-    #[test]
-    fn chip_invariants_hold_for_any_valid_config(cfg in chip_config()) {
+#[test]
+fn chip_invariants_hold_for_any_valid_config() {
+    forall!(cases = 64, (cx in usize_range(1, 4), cy in usize_range(1, 3),
+                         core_w in f64_range(1200.0, 2400.0),
+                         pitch in f64_range(80.0, 140.0)) => {
+        let cfg = chip_config(cx, cy, core_w, pitch);
         // Some pitches are too coarse for the blocks — that must be a
         // clean error, never a bad floorplan.
-        let Ok(chip) = ChipFloorplan::new(&cfg) else { return Ok(()); };
+        let Ok(chip) = ChipFloorplan::new(&cfg) else { return; };
         // 30 blocks per core, block ids core-major.
-        prop_assert_eq!(chip.blocks().len(), 30 * cfg.cores_x * cfg.cores_y);
+        assert_eq!(chip.blocks().len(), 30 * cfg.cores_x * cfg.cores_y);
         for (i, b) in chip.blocks().iter().enumerate() {
-            prop_assert_eq!(b.id().0, i);
+            assert_eq!(b.id().0, i);
         }
         // Blocks never overlap.
         for (i, a) in chip.blocks().iter().enumerate() {
             for b in &chip.blocks()[i + 1..] {
-                prop_assert!(!a.rect().overlaps(&b.rect()));
+                assert!(!a.rect().overlaps(&b.rect()));
             }
         }
         // Every FA node's owner really contains it; candidates + FA = all.
@@ -80,21 +94,26 @@ proptest! {
                 NodeSite::FunctionArea(owner) => {
                     fa += 1;
                     let block = chip.block(owner).expect("owner exists");
-                    prop_assert!(block.rect().contains(lattice.position(id)));
+                    assert!(block.rect().contains(lattice.position(id)));
                 }
                 NodeSite::BlankArea => {}
             }
         }
-        prop_assert_eq!(fa + lattice.candidate_sites().len(), lattice.len());
+        assert_eq!(fa + lattice.candidate_sites().len(), lattice.len());
         // Every block has at least one node (guaranteed by validation).
         for b in chip.blocks() {
-            prop_assert!(!lattice.nodes_in_block(b.id()).is_empty());
+            assert!(!lattice.nodes_in_block(b.id()).is_empty());
         }
-    }
+    });
+}
 
-    #[test]
-    fn lattice_neighbors_are_mutual(cfg in chip_config()) {
-        let Ok(chip) = ChipFloorplan::new(&cfg) else { return Ok(()); };
+#[test]
+fn lattice_neighbors_are_mutual() {
+    forall!(cases = 64, (cx in usize_range(1, 4), cy in usize_range(1, 3),
+                         core_w in f64_range(1200.0, 2400.0),
+                         pitch in f64_range(80.0, 140.0)) => {
+        let cfg = chip_config(cx, cy, core_w, pitch);
+        let Ok(chip) = ChipFloorplan::new(&cfg) else { return; };
         let lattice = chip.lattice();
         // Sample a handful of nodes.
         let step = (lattice.len() / 7).max(1);
@@ -102,8 +121,8 @@ proptest! {
             let id = voltsense_floorplan::NodeId(i);
             for n in lattice.neighbors(id) {
                 let back: Vec<_> = lattice.neighbors(n).collect();
-                prop_assert!(back.contains(&id), "neighbor relation not mutual");
+                assert!(back.contains(&id), "neighbor relation not mutual");
             }
         }
-    }
+    });
 }

@@ -1,33 +1,27 @@
-//! Property-based tests for the group-lasso solvers.
+//! Property-based tests for the group-lasso solvers (testkit harness: 64
+//! deterministic seeded cases per property, greedy shrinking).
 
-use proptest::prelude::*;
 use voltsense_grouplasso::{
     kkt_violation, solve_constrained, solve_penalized, solve_penalized_fista, GlOptions,
     GlProblem,
 };
 use voltsense_linalg::Matrix;
+use voltsense_testkit::{f64_range, forall, usize_range, vec_f64};
 
-/// Strategy: a random well-posed problem with M candidates, K targets,
-/// N samples; targets are noisy linear mixes of the candidates, so the
-/// problems resemble the real use case.
-fn problem() -> impl Strategy<Value = GlProblem> {
-    (
-        2usize..5,
-        1usize..4,
-        8usize..16,
-        proptest::collection::vec(-1.0..1.0f64, 200),
-        proptest::collection::vec(-0.5..0.5f64, 40),
-    )
-        .prop_map(|(m, k, n, zdata, mix)| {
-            let z = Matrix::from_vec(m, n, zdata[..m * n].to_vec()).expect("shape");
-            // G = W Z + small structured perturbation.
-            let w = Matrix::from_vec(k, m, mix[..k * m].to_vec()).expect("shape");
-            let mut g = w.matmul(&z).expect("shapes agree");
-            for (i, v) in g.as_mut_slice().iter_mut().enumerate() {
-                *v += 0.01 * ((i as f64) * 0.77).sin();
-            }
-            GlProblem::from_data(&z, &g).expect("valid problem")
-        })
+/// Builds a random well-posed problem with `m` candidates, `k` targets, `n`
+/// samples; targets are noisy linear mixes of the candidates, so the
+/// problems resemble the real use case. Assembled from shrinkable
+/// primitives: failing cases reduce toward the smallest problem with the
+/// simplest data.
+fn problem(m: usize, k: usize, n: usize, zdata: &[f64], mix: &[f64]) -> GlProblem {
+    let z = Matrix::from_vec(m, n, zdata[..m * n].to_vec()).expect("shape");
+    // G = W Z + small structured perturbation.
+    let w = Matrix::from_vec(k, m, mix[..k * m].to_vec()).expect("shape");
+    let mut g = w.matmul(&z).expect("shapes agree");
+    for (i, v) in g.as_mut_slice().iter_mut().enumerate() {
+        *v += 0.01 * ((i as f64) * 0.77).sin();
+    }
+    GlProblem::from_data(&z, &g).expect("valid problem")
 }
 
 fn options() -> GlOptions {
@@ -38,56 +32,82 @@ fn options() -> GlOptions {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn bcd_satisfies_kkt(p in problem(), mu_frac in 0.05..0.9f64) {
+#[test]
+fn bcd_satisfies_kkt() {
+    forall!(cases = 64, (m in usize_range(2, 5), k in usize_range(1, 4),
+                         n in usize_range(8, 16), zdata in vec_f64(200, -1.0, 1.0),
+                         mix in vec_f64(40, -0.5, 0.5), mu_frac in f64_range(0.05, 0.9)) => {
+        let p = problem(m, k, n, &zdata, &mix);
         let mu = p.mu_max() * mu_frac;
         let sol = solve_penalized(&p, mu, &options(), None).unwrap();
         let v = kkt_violation(&p, &sol.beta, mu).unwrap();
-        prop_assert!(v <= 1e-6 * p.mu_max().max(1.0), "violation {}", v);
-    }
+        assert!(v <= 1e-6 * p.mu_max().max(1.0), "violation {}", v);
+    });
+}
 
-    #[test]
-    fn bcd_and_fista_agree_on_objective(p in problem(), mu_frac in 0.1..0.8f64) {
+#[test]
+fn bcd_and_fista_agree_on_objective() {
+    forall!(cases = 64, (m in usize_range(2, 5), k in usize_range(1, 4),
+                         n in usize_range(8, 16), zdata in vec_f64(200, -1.0, 1.0),
+                         mix in vec_f64(40, -0.5, 0.5), mu_frac in f64_range(0.1, 0.8)) => {
+        let p = problem(m, k, n, &zdata, &mix);
         let mu = p.mu_max() * mu_frac;
         let bcd = solve_penalized(&p, mu, &options(), None).unwrap();
         let fista = solve_penalized_fista(&p, mu, &options(), None).unwrap();
         let scale = bcd.objective.abs().max(1.0);
-        prop_assert!(
+        assert!(
             (bcd.objective - fista.objective).abs() <= 1e-4 * scale,
             "bcd {} vs fista {}", bcd.objective, fista.objective
         );
-    }
+    });
+}
 
-    #[test]
-    fn budget_monotone_in_penalty(p in problem()) {
+#[test]
+fn budget_monotone_in_penalty() {
+    forall!(cases = 64, (m in usize_range(2, 5), k in usize_range(1, 4),
+                         n in usize_range(8, 16), zdata in vec_f64(200, -1.0, 1.0),
+                         mix in vec_f64(40, -0.5, 0.5)) => {
+        let p = problem(m, k, n, &zdata, &mix);
         let mus = [0.1, 0.3, 0.6, 0.9].map(|f| p.mu_max() * f);
         let mut prev = f64::INFINITY;
         for mu in mus {
             let b = solve_penalized(&p, mu, &options(), None).unwrap().budget();
-            prop_assert!(b <= prev + 1e-9, "budget not monotone: {} then {}", prev, b);
+            assert!(b <= prev + 1e-9, "budget not monotone: {} then {}", prev, b);
             prev = b;
         }
-    }
+    });
+}
 
-    #[test]
-    fn above_mu_max_solution_is_zero(p in problem()) {
+#[test]
+fn above_mu_max_solution_is_zero() {
+    forall!(cases = 64, (m in usize_range(2, 5), k in usize_range(1, 4),
+                         n in usize_range(8, 16), zdata in vec_f64(200, -1.0, 1.0),
+                         mix in vec_f64(40, -0.5, 0.5)) => {
+        let p = problem(m, k, n, &zdata, &mix);
         let sol = solve_penalized(&p, p.mu_max() * 1.01 + 1e-12, &options(), None).unwrap();
-        prop_assert!(sol.beta.max_abs() < 1e-10);
-    }
+        assert!(sol.beta.max_abs() < 1e-10);
+    });
+}
 
-    #[test]
-    fn constrained_budget_feasible(p in problem(), lam in 0.05..2.0f64) {
+#[test]
+fn constrained_budget_feasible() {
+    forall!(cases = 64, (m in usize_range(2, 5), k in usize_range(1, 4),
+                         n in usize_range(8, 16), zdata in vec_f64(200, -1.0, 1.0),
+                         mix in vec_f64(40, -0.5, 0.5), lam in f64_range(0.05, 2.0)) => {
+        let p = problem(m, k, n, &zdata, &mix);
         let sol = solve_constrained(&p, lam, &options()).unwrap();
-        prop_assert!(sol.budget_used <= lam * (1.0 + 1e-6));
-    }
+        assert!(sol.budget_used <= lam * (1.0 + 1e-6));
+    });
+}
 
-    #[test]
-    fn penalized_objective_optimal_vs_perturbations(p in problem(), mu_frac in 0.2..0.8f64) {
+#[test]
+fn penalized_objective_optimal_vs_perturbations() {
+    forall!(cases = 64, (m in usize_range(2, 5), k in usize_range(1, 4),
+                         n in usize_range(8, 16), zdata in vec_f64(200, -1.0, 1.0),
+                         mix in vec_f64(40, -0.5, 0.5), mu_frac in f64_range(0.2, 0.8)) => {
         // The solver's objective must not be improvable by simple scalings
         // of the solution (a weak but fully independent optimality probe).
+        let p = problem(m, k, n, &zdata, &mix);
         let mu = p.mu_max() * mu_frac;
         let sol = solve_penalized(&p, mu, &options(), None).unwrap();
         let obj = |beta: &Matrix| {
@@ -100,17 +120,22 @@ proptest! {
         let base = obj(&sol.beta);
         for scale in [0.9, 1.1, 0.5, 2.0] {
             let perturbed = sol.beta.scaled(scale);
-            prop_assert!(obj(&perturbed) >= base - 1e-7 * base.abs().max(1.0));
+            assert!(obj(&perturbed) >= base - 1e-7 * base.abs().max(1.0));
         }
-    }
+    });
+}
 
-    #[test]
-    fn warm_start_agrees_with_cold(p in problem(), mu_frac in 0.2..0.7f64) {
+#[test]
+fn warm_start_agrees_with_cold() {
+    forall!(cases = 64, (m in usize_range(2, 5), k in usize_range(1, 4),
+                         n in usize_range(8, 16), zdata in vec_f64(200, -1.0, 1.0),
+                         mix in vec_f64(40, -0.5, 0.5), mu_frac in f64_range(0.2, 0.7)) => {
+        let p = problem(m, k, n, &zdata, &mix);
         let mu = p.mu_max() * mu_frac;
         let other = solve_penalized(&p, mu * 1.3, &options(), None).unwrap();
         let warm = solve_penalized(&p, mu, &options(), Some(&other.beta)).unwrap();
         let cold = solve_penalized(&p, mu, &options(), None).unwrap();
         let scale = cold.objective.abs().max(1.0);
-        prop_assert!((warm.objective - cold.objective).abs() <= 1e-5 * scale);
-    }
+        assert!((warm.objective - cold.objective).abs() <= 1e-5 * scale);
+    });
 }

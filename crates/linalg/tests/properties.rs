@@ -1,130 +1,138 @@
-//! Property-based tests for the dense linear-algebra kernels.
+//! Property-based tests for the dense linear-algebra kernels (testkit
+//! harness: 64 deterministic seeded cases per property, greedy shrinking).
 
-use proptest::prelude::*;
 use voltsense_linalg::decomp::{Cholesky, Lu, Qr};
 use voltsense_linalg::stats::Normalizer;
 use voltsense_linalg::{lstsq, Matrix};
+use voltsense_testkit::{forall, matrix, spd, vec_f64};
 
-/// Strategy: a matrix of the given shape with entries in [-10, 10].
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-10.0..10.0f64, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("shape"))
+#[test]
+fn transpose_is_involution() {
+    forall!(cases = 64, (m in matrix(4, 7, -10.0, 10.0)) => {
+        assert_eq!(m.transpose().transpose(), m);
+    });
 }
 
-/// Strategy: a well-conditioned SPD matrix A = B Bᵀ + n·I.
-fn spd(n: usize) -> impl Strategy<Value = Matrix> {
-    matrix(n, n).prop_map(move |b| {
-        let mut a = b.gram();
-        for i in 0..n {
-            a[(i, i)] += n as f64 + 1.0;
-        }
-        a
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn transpose_is_involution(m in matrix(4, 7)) {
-        prop_assert_eq!(m.transpose().transpose(), m);
-    }
-
-    #[test]
-    fn matmul_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+#[test]
+fn matmul_associative() {
+    forall!(cases = 64, (a in matrix(3, 4, -10.0, 10.0),
+                         b in matrix(4, 2, -10.0, 10.0),
+                         c in matrix(2, 5, -10.0, 10.0)) => {
         let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
         let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
-        prop_assert!(left.approx_eq(&right, 1e-8));
-    }
+        assert!(left.approx_eq(&right, 1e-8));
+    });
+}
 
-    #[test]
-    fn matmul_transpose_identity(a in matrix(3, 4), b in matrix(4, 2)) {
+#[test]
+fn matmul_transpose_identity() {
+    forall!(cases = 64, (a in matrix(3, 4, -10.0, 10.0),
+                         b in matrix(4, 2, -10.0, 10.0)) => {
         // (AB)ᵀ = Bᵀ Aᵀ
         let lhs = a.matmul(&b).unwrap().transpose();
         let rhs = b.transpose().matmul(&a.transpose()).unwrap();
-        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
-    }
+        assert!(lhs.approx_eq(&rhs, 1e-9));
+    });
+}
 
-    #[test]
-    fn frobenius_triangle_inequality(a in matrix(3, 3), b in matrix(3, 3)) {
+#[test]
+fn frobenius_triangle_inequality() {
+    forall!(cases = 64, (a in matrix(3, 3, -10.0, 10.0),
+                         b in matrix(3, 3, -10.0, 10.0)) => {
         let sum = &a + &b;
-        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-12);
-    }
+        assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-12);
+    });
+}
 
-    #[test]
-    fn cholesky_reconstructs(a in spd(5)) {
+#[test]
+fn cholesky_reconstructs() {
+    forall!(cases = 64, (a in spd(5)) => {
         let chol = Cholesky::new(&a).unwrap();
         let l = chol.l();
         let llt = l.matmul(&l.transpose()).unwrap();
-        prop_assert!(llt.approx_eq(&a, 1e-7 * a.max_abs().max(1.0)));
-    }
+        assert!(llt.approx_eq(&a, 1e-7 * a.max_abs().max(1.0)));
+    });
+}
 
-    #[test]
-    fn cholesky_solve_residual(a in spd(5), b in proptest::collection::vec(-5.0..5.0f64, 5)) {
+#[test]
+fn cholesky_solve_residual() {
+    forall!(cases = 64, (a in spd(5), b in vec_f64(5, -5.0, 5.0)) => {
         let chol = Cholesky::new(&a).unwrap();
         let x = chol.solve(&b).unwrap();
         let ax = a.matvec(&x).unwrap();
         for (ai, bi) in ax.iter().zip(&b) {
-            prop_assert!((ai - bi).abs() < 1e-7);
+            assert!((ai - bi).abs() < 1e-7);
         }
-    }
+    });
+}
 
-    #[test]
-    fn lu_solve_residual(a in spd(4), b in proptest::collection::vec(-5.0..5.0f64, 4)) {
+#[test]
+fn lu_solve_residual() {
+    forall!(cases = 64, (a in spd(4), b in vec_f64(4, -5.0, 5.0)) => {
         // SPD matrices are certainly invertible.
         let lu = Lu::new(&a).unwrap();
         let x = lu.solve(&b).unwrap();
         let ax = a.matvec(&x).unwrap();
         for (ai, bi) in ax.iter().zip(&b) {
-            prop_assert!((ai - bi).abs() < 1e-7);
+            assert!((ai - bi).abs() < 1e-7);
         }
-    }
+    });
+}
 
-    #[test]
-    fn lu_det_matches_cholesky_logdet(a in spd(4)) {
+#[test]
+fn lu_det_matches_cholesky_logdet() {
+    forall!(cases = 64, (a in spd(4)) => {
         let lu = Lu::new(&a).unwrap();
         let chol = Cholesky::new(&a).unwrap();
         let det = lu.det();
-        prop_assert!(det > 0.0);
-        prop_assert!((det.ln() - chol.log_det()).abs() < 1e-6 * chol.log_det().abs().max(1.0));
-    }
+        assert!(det > 0.0);
+        assert!((det.ln() - chol.log_det()).abs() < 1e-6 * chol.log_det().abs().max(1.0));
+    });
+}
 
-    #[test]
-    fn qr_least_squares_residual_orthogonal(
-        a in matrix(8, 3),
-        b in proptest::collection::vec(-5.0..5.0f64, 8),
-    ) {
+#[test]
+fn qr_least_squares_residual_orthogonal() {
+    forall!(cases = 64, (a in matrix(8, 3, -10.0, 10.0),
+                         b in vec_f64(8, -5.0, 5.0)) => {
         let qr = Qr::new(&a).unwrap();
         if let Ok(x) = qr.solve_least_squares(&b) {
             let ax = a.matvec(&x).unwrap();
             let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
             let atr = a.transpose().matvec(&r).unwrap();
             for v in atr {
-                prop_assert!(v.abs() < 1e-6);
+                assert!(v.abs() < 1e-6);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn normalizer_round_trip(m in matrix(4, 9)) {
+#[test]
+fn normalizer_round_trip() {
+    forall!(cases = 64, (m in matrix(4, 9, -10.0, 10.0)) => {
         let norm = Normalizer::fit(&m);
         let z = norm.apply(&m).unwrap();
         let back = norm.invert(&z).unwrap();
-        prop_assert!(back.approx_eq(&m, 1e-9 * m.max_abs().max(1.0)));
-    }
+        assert!(back.approx_eq(&m, 1e-9 * m.max_abs().max(1.0)));
+    });
+}
 
-    #[test]
-    fn ols_never_worse_than_mean_model(x in matrix(2, 12), f in matrix(1, 12)) {
+#[test]
+fn ols_never_worse_than_mean_model() {
+    forall!(cases = 64, (x in matrix(2, 12, -10.0, 10.0),
+                         f in matrix(1, 12, -10.0, 10.0)) => {
         let fit = lstsq::ols_with_intercept(&x, &f).unwrap();
         // The intercept-only model (predict the mean) is in the OLS model
         // class, so OLS training RMS cannot exceed the response std-dev.
         let mu: f64 = f.row(0).iter().sum::<f64>() / 12.0;
         let std = (f.row(0).iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / 12.0).sqrt();
-        prop_assert!(fit.rms_residual <= std + 1e-8);
-    }
+        assert!(fit.rms_residual <= std + 1e-8);
+    });
+}
 
-    #[test]
-    fn ridge_monotone_coefficient_norm(x in matrix(2, 10), f in matrix(1, 10)) {
+#[test]
+fn ridge_monotone_coefficient_norm() {
+    forall!(cases = 64, (x in matrix(2, 10, -10.0, 10.0),
+                         f in matrix(1, 10, -10.0, 10.0)) => {
         // Coefficient norm is non-increasing in the ridge strength.
         let f0 = lstsq::ridge_with_intercept(&x, &f, 0.0).unwrap();
         let f1 = lstsq::ridge_with_intercept(&x, &f, 1.0).unwrap();
@@ -132,7 +140,7 @@ proptest! {
         let n0 = f0.coefficients.frobenius_norm();
         let n1 = f1.coefficients.frobenius_norm();
         let n2 = f2.coefficients.frobenius_norm();
-        prop_assert!(n1 <= n0 + 1e-9);
-        prop_assert!(n2 <= n1 + 1e-9);
-    }
+        assert!(n1 <= n0 + 1e-9);
+        assert!(n2 <= n1 + 1e-9);
+    });
 }

@@ -11,7 +11,7 @@
 ///   oscillation amplitudes much better at the same timestep (at the cost
 ///   of possible non-physical ringing on hard discontinuities).
 ///
-/// The `transient` criterion bench and the integrator-accuracy test
+/// The `transient` bench and the integrator-accuracy test
 /// quantify the trade-off on the default grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Integration {

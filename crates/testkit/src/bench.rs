@@ -1,0 +1,254 @@
+//! A small wall-clock bench harness (the workspace's criterion stand-in).
+//!
+//! Measurement model: calibrate a batch size so one sample takes a few
+//! milliseconds (amortising timer overhead for nanosecond-scale bodies),
+//! run a fixed number of warmup samples to populate caches, then report the
+//! **median** of k timed samples — robust to scheduler noise without any
+//! statistics machinery. Reports are printed to stdout and written as JSON
+//! to `results/bench_<suite>.json` so runs can be diffed across commits.
+//!
+//! Environment knobs:
+//!
+//! * `TESTKIT_BENCH_SAMPLES=k` — timed samples per benchmark (default 11).
+//! * `TESTKIT_BENCH_FAST=1` — 3 samples, minimal calibration (CI smoke).
+//! * `TESTKIT_RESULTS_DIR=dir` — override the output directory.
+
+use std::fs;
+use std::hint::black_box;
+use std::io;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Target duration of one timed sample after batch calibration.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// One benchmark's measurement summary (per-iteration costs in ns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark label, unique within the suite.
+    pub name: String,
+    /// Inner iterations per timed sample (batch size from calibration).
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: u32,
+    /// Median per-iteration time (ns) — the headline number.
+    pub median_ns: f64,
+    /// Fastest per-iteration sample (ns).
+    pub min_ns: f64,
+    /// Slowest per-iteration sample (ns).
+    pub max_ns: f64,
+}
+
+/// Collects [`BenchRecord`]s for one suite and writes the JSON report.
+#[derive(Debug)]
+pub struct BenchTimer {
+    suite: String,
+    warmup: u32,
+    samples: u32,
+    records: Vec<BenchRecord>,
+}
+
+impl BenchTimer {
+    /// Creates a timer for the named suite (the JSON file stem).
+    pub fn new(suite: &str) -> Self {
+        let fast = std::env::var("TESTKIT_BENCH_FAST").is_ok_and(|v| v == "1");
+        let samples = std::env::var("TESTKIT_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&k| k > 0)
+            .unwrap_or(if fast { 3 } else { 11 });
+        BenchTimer {
+            suite: suite.to_string(),
+            warmup: if fast { 1 } else { 3 },
+            samples,
+            records: Vec::new(),
+        }
+    }
+
+    /// Times `body`, printing and recording the median-of-k summary.
+    ///
+    /// The closure's return value is passed through [`black_box`] so the
+    /// optimiser cannot delete the measured work.
+    pub fn bench<R>(&mut self, name: &str, mut body: impl FnMut() -> R) -> &BenchRecord {
+        let iters = calibrate(&mut body);
+        let sample = |body: &mut dyn FnMut() -> R| -> f64 {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(body());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        };
+        for _ in 0..self.warmup {
+            sample(&mut body);
+        }
+        let mut times: Vec<f64> = (0..self.samples).map(|_| sample(&mut body)).collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        let record = BenchRecord {
+            name: name.to_string(),
+            iters_per_sample: iters,
+            samples: self.samples,
+            median_ns: times[times.len() / 2],
+            min_ns: times[0],
+            max_ns: times[times.len() - 1],
+        };
+        println!(
+            "bench {}/{}: median {} (min {}, max {}, {} iters x {} samples)",
+            self.suite,
+            record.name,
+            format_ns(record.median_ns),
+            format_ns(record.min_ns),
+            format_ns(record.max_ns),
+            record.iters_per_sample,
+            record.samples,
+        );
+        self.records.push(record);
+        self.records.last().expect("just pushed")
+    }
+
+    /// Records collected so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Writes `results/bench_<suite>.json` and returns its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating the directory or file.
+    pub fn finish(self) -> io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("bench_{}.json", self.suite));
+        fs::write(&path, self.to_json())?;
+        println!("bench {}: wrote {}", self.suite, path.display());
+        Ok(path)
+    }
+
+    /// Renders the suite report as JSON (hand-rolled; the dependency policy
+    /// rules out serde, and the schema is flat).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"suite\": \"{}\",\n", escape(&self.suite)));
+        s.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \
+                 \"max_ns\": {}, \"iters_per_sample\": {}, \"samples\": {}}}{}\n",
+                escape(&r.name),
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                r.iters_per_sample,
+                r.samples,
+                if i + 1 < self.records.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Doubles the batch size until one batch reaches [`TARGET_SAMPLE`] (capped
+/// to keep calibration itself cheap for slow bodies).
+fn calibrate<R>(body: &mut impl FnMut() -> R) -> u64 {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(body());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= TARGET_SAMPLE || iters >= 1 << 20 {
+            return iters;
+        }
+        iters *= 2;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// The workspace `results/` directory: `TESTKIT_RESULTS_DIR` if set, else
+/// found by walking up from the running crate's manifest (falling back to
+/// the current directory).
+fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("TESTKIT_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        if dir.join("results").is_dir() {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            return start.join("results");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_between_min_and_max() {
+        let mut t = BenchTimer::new("selftest");
+        let r = t.bench("spin", || {
+            let mut x = 0u64;
+            for i in 0..100 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.min_ns > 0.0);
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let mut t = BenchTimer::new("jsontest");
+        t.bench("noop", || 1u8);
+        let json = t.to_json();
+        assert!(json.contains("\"suite\": \"jsontest\""));
+        assert!(json.contains("\"name\": \"noop\""));
+        assert!(json.contains("\"median_ns\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_backslashes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn format_ns_picks_sane_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2.0e9).ends_with('s'));
+    }
+}

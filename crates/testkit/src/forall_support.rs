@@ -1,0 +1,294 @@
+//! Runtime support for the [`forall!`](crate::forall) macro: the generic
+//! case-loop/shrink driver, case seeding, quiet panic capture during
+//! shrinking, and the final failure report.
+
+use std::cell::Cell;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use crate::gen::Gen;
+use voltsense_workload::GaussianRng;
+
+thread_local! {
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+static INSTALL_HOOK: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// backtrace spew while *this thread* is inside a caught property check.
+/// Other threads keep the previous hook's behaviour, so unrelated tests
+/// failing concurrently still print normally.
+fn install_quiet_hook() {
+    INSTALL_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs a property body, converting a panic into `Err(message)`.
+///
+/// Used by `forall!` for both the initial case run and every shrink attempt,
+/// so shrinking does not flood stderr with intermediate panic reports.
+pub fn forall_catch(body: impl FnOnce()) -> Result<(), String> {
+    install_quiet_hook();
+    QUIET_PANICS.with(|q| q.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(body));
+    QUIET_PANICS.with(|q| q.set(false));
+    match result {
+        Ok(()) => Ok(()),
+        Err(payload) => Err(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Per-`forall!` configuration: case count and seed schedule.
+///
+/// The base seed mixes the test's `module_path!()` and `line!()` so distinct
+/// properties explore distinct streams, while any given property replays the
+/// same inputs on every run, platform, and toolchain.
+#[derive(Debug, Clone)]
+pub struct ForallConfig {
+    cases: u64,
+    base_seed: u64,
+    fixed_seed: Option<u64>,
+    module: &'static str,
+    line: u32,
+    /// Upper bound on accepted shrink steps (guards against float shrink
+    /// sequences that keep producing new still-failing candidates forever).
+    pub max_shrink_steps: u32,
+}
+
+impl ForallConfig {
+    /// Builds the config for one `forall!` site, honouring the
+    /// `TESTKIT_CASES` and `TESTKIT_SEED` environment overrides.
+    pub fn new(default_cases: u64, module: &'static str, line: u32) -> Self {
+        let cases = std::env::var("TESTKIT_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(default_cases);
+        let fixed_seed = std::env::var("TESTKIT_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok());
+        let mut base = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in module.bytes() {
+            base ^= u64::from(b);
+            base = base.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        base ^= u64::from(line).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ForallConfig {
+            cases,
+            base_seed: base,
+            fixed_seed,
+            module,
+            line,
+            max_shrink_steps: 500,
+        }
+    }
+
+    /// Number of cases to run (1 when `TESTKIT_SEED` pins a replay).
+    pub fn case_count(&self) -> u64 {
+        if self.fixed_seed.is_some() {
+            1
+        } else {
+            self.cases
+        }
+    }
+
+    /// The RNG seed for case `index` — this is the value printed as the
+    /// replay seed on failure.
+    pub fn case_seed(&self, index: u64) -> u64 {
+        if let Some(s) = self.fixed_seed {
+            return s;
+        }
+        // SplitMix64 finalizer over base + index: well-spread, portable.
+        let mut z = self
+            .base_seed
+            .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A tuple of generators, generated and shrunk as a unit.
+///
+/// Implemented for tuples of [`Gen`]s up to arity 8; this is what lets the
+/// `forall!` driver be one generic function while each property names its
+/// components individually.
+pub trait GenTuple {
+    /// The generated value tuple.
+    type Values: Clone + fmt::Debug;
+
+    /// Generates every component, left to right, from one seeded stream.
+    fn generate(&self, rng: &mut GaussianRng) -> Self::Values;
+
+    /// Number of components.
+    fn components(&self) -> usize;
+
+    /// Shrink candidates for component `index`, each spliced into a copy of
+    /// `values` (empty when out of range or the component cannot shrink).
+    fn shrink_component(&self, values: &Self::Values, index: usize) -> Vec<Self::Values>;
+}
+
+macro_rules! impl_gen_tuple {
+    ($(($($g:ident . $idx:tt),+);)+) => {$(
+        impl<$($g: Gen),+> GenTuple for ($($g,)+) {
+            type Values = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut GaussianRng) -> Self::Values {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn components(&self) -> usize {
+                [$(stringify!($idx)),+].len()
+            }
+
+            fn shrink_component(
+                &self,
+                values: &Self::Values,
+                index: usize,
+            ) -> Vec<Self::Values> {
+                match index {
+                    $($idx => self
+                        .$idx
+                        .shrink(&values.$idx)
+                        .into_iter()
+                        .map(|c| {
+                            let mut v = values.clone();
+                            v.$idx = c;
+                            v
+                        })
+                        .collect(),)+
+                    _ => Vec::new(),
+                }
+            }
+        }
+    )+};
+}
+
+impl_gen_tuple! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+/// The `forall!` driver: runs `check` over `cfg.case_count()` seeded cases;
+/// on the first failure, greedily shrinks component by component (keeping a
+/// candidate only if the property still fails) and panics with the minimal
+/// failing input rendered by `render`, the failure message, and the replay
+/// seed.
+pub fn run_forall<T: GenTuple>(
+    cfg: &ForallConfig,
+    gens: &T,
+    check: impl Fn(&T::Values) -> Result<(), String>,
+    render: impl Fn(&T::Values) -> String,
+) {
+    for case in 0..cfg.case_count() {
+        let seed = cfg.case_seed(case);
+        let mut rng = GaussianRng::seed_from_u64(seed);
+        let generated = gens.generate(&mut rng);
+        let Err(first_msg) = check(&generated) else {
+            continue;
+        };
+        let mut failing = generated;
+        let mut msg = first_msg;
+        let mut steps: u32 = 0;
+        let mut progress = true;
+        while progress && steps < cfg.max_shrink_steps {
+            progress = false;
+            for component in 0..gens.components() {
+                // Greedy: keep re-shrinking this component while any
+                // candidate still fails the property.
+                'this_component: while steps < cfg.max_shrink_steps {
+                    for candidate in gens.shrink_component(&failing, component) {
+                        if let Err(m) = check(&candidate) {
+                            failing = candidate;
+                            msg = m;
+                            steps += 1;
+                            progress = true;
+                            continue 'this_component;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        forall_fail(cfg, case, seed, steps, &render(&failing), &msg);
+    }
+}
+
+/// Panics with the full property-failure report. Never returns.
+fn forall_fail(
+    cfg: &ForallConfig,
+    case_index: u64,
+    seed: u64,
+    shrink_steps: u32,
+    rendered_input: &str,
+    message: &str,
+) -> ! {
+    panic!(
+        "\nforall! property failed at {module}:{line} \
+         (case {case} of {count})\n\
+         minimal failing input after {steps} shrink step(s):\n{input}\
+         failure: {msg}\n\
+         replay seed: {seed} (rerun with TESTKIT_SEED={seed} cargo test -q)\n",
+        module = cfg.module,
+        line = cfg.line,
+        case = case_index + 1,
+        count = cfg.case_count(),
+        steps = shrink_steps,
+        input = rendered_input,
+        msg = message,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_deterministic_and_distinct() {
+        let a = ForallConfig::new(64, "m", 1);
+        let b = ForallConfig::new(64, "m", 1);
+        assert_eq!(a.case_seed(0), b.case_seed(0));
+        assert_eq!(a.case_seed(63), b.case_seed(63));
+        assert_ne!(a.case_seed(0), a.case_seed(1));
+    }
+
+    #[test]
+    fn different_sites_get_different_streams() {
+        let a = ForallConfig::new(64, "m", 1);
+        let b = ForallConfig::new(64, "m", 2);
+        let c = ForallConfig::new(64, "other", 1);
+        assert_ne!(a.case_seed(0), b.case_seed(0));
+        assert_ne!(a.case_seed(0), c.case_seed(0));
+    }
+
+    #[test]
+    fn catch_reports_panic_message() {
+        assert_eq!(forall_catch(|| {}), Ok(()));
+        let err = forall_catch(|| panic!("boom {}", 7)).unwrap_err();
+        assert!(err.contains("boom 7"), "got: {err}");
+    }
+}

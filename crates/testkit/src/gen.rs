@@ -1,0 +1,459 @@
+//! Seeded value generators with greedy shrinking.
+//!
+//! Each generator produces values from the workspace's portable
+//! [`GaussianRng`] stream and knows how to *shrink* a failing value toward
+//! its simplest representative (0 when the range contains it, else the low
+//! end). Shrink candidates are ordered most-aggressive-first; the `forall!`
+//! driver keeps a candidate only if the property still fails on it.
+//!
+//! Domain-specific inputs (grid configs, group-lasso problems, …) are built
+//! inside test bodies from these primitives, so shrinking automatically
+//! operates on the underlying scalars.
+
+use std::fmt;
+
+use voltsense_linalg::Matrix;
+use voltsense_workload::GaussianRng;
+
+/// A deterministic value generator with greedy shrinking.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + fmt::Debug;
+
+    /// Draws one value from the seeded stream.
+    fn generate(&self, rng: &mut GaussianRng) -> Self::Value;
+
+    /// Proposes simpler candidates for a failing value, most aggressive
+    /// first. Every candidate must lie in the generator's value space. The
+    /// default is "cannot shrink".
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+impl<G: Gen + ?Sized> Gen for &G {
+    type Value = G::Value;
+
+    fn generate(&self, rng: &mut GaussianRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// The simplest value inside `[lo, hi)`: 0 when the range straddles it,
+/// otherwise the low endpoint.
+fn simplest_f64(lo: f64, hi: f64) -> f64 {
+    if lo <= 0.0 && 0.0 < hi {
+        0.0
+    } else {
+        lo
+    }
+}
+
+/// Shrink candidates for one float toward `target` within `[lo, hi)`.
+fn shrink_f64_toward(v: f64, target: f64, lo: f64, hi: f64) -> Vec<f64> {
+    if !(v - target).is_finite() || (v - target).abs() < 1e-9 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut push = |c: f64| {
+        if c.is_finite() && c >= lo && c < hi && c != v && !out.contains(&c) {
+            out.push(c);
+        }
+    };
+    push(target);
+    push(target + (v - target) / 2.0);
+    push(target + (v - target) / 4.0);
+    // Decimal truncation makes counterexamples human-readable.
+    push((v * 100.0).trunc() / 100.0);
+    out
+}
+
+/// Uniform `f64` in `[lo, hi)`, shrinking toward the simplest in-range value.
+#[derive(Debug, Clone, Copy)]
+pub struct F64Range {
+    lo: f64,
+    hi: f64,
+}
+
+/// Uniform `f64` in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics unless `lo < hi` and both are finite.
+pub fn f64_range(lo: f64, hi: f64) -> F64Range {
+    assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+    F64Range { lo, hi }
+}
+
+impl Gen for F64Range {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut GaussianRng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.uniform()
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64_toward(*value, simplest_f64(self.lo, self.hi), self.lo, self.hi)
+    }
+}
+
+/// Uniform `usize` in `[lo, hi)`, shrinking toward `lo`.
+#[derive(Debug, Clone, Copy)]
+pub struct UsizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+/// Uniform `usize` in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics unless `lo < hi`.
+pub fn usize_range(lo: usize, hi: usize) -> UsizeRange {
+    assert!(lo < hi, "bad range [{lo}, {hi})");
+    UsizeRange { lo, hi }
+}
+
+impl Gen for UsizeRange {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut GaussianRng) -> usize {
+        self.lo + rng.uniform_index(self.hi - self.lo)
+    }
+
+    fn shrink(&self, value: &usize) -> Vec<usize> {
+        let v = *value;
+        let mut out = Vec::new();
+        let mut push = |c: usize| {
+            if c >= self.lo && c < self.hi && c != v && !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        if v > self.lo {
+            push(self.lo);
+            push(self.lo + (v - self.lo) / 2);
+            push(v - 1);
+        }
+        out
+    }
+}
+
+/// Uniform `u64` in `[lo, hi)`, shrinking toward `lo`.
+#[derive(Debug, Clone, Copy)]
+pub struct U64Range {
+    lo: u64,
+    hi: u64,
+}
+
+/// Uniform `u64` in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics unless `lo < hi`.
+pub fn u64_range(lo: u64, hi: u64) -> U64Range {
+    assert!(lo < hi, "bad range [{lo}, {hi})");
+    U64Range { lo, hi }
+}
+
+impl Gen for U64Range {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut GaussianRng) -> u64 {
+        // Multiply-shift over the span; bias is negligible for span << 2^64.
+        let span = self.hi - self.lo;
+        self.lo + ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        let v = *value;
+        let mut out = Vec::new();
+        let mut push = |c: u64| {
+            if c >= self.lo && c < self.hi && c != v && !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        if v > self.lo {
+            push(self.lo);
+            push(self.lo + (v - self.lo) / 2);
+            push(v - 1);
+        }
+        out
+    }
+}
+
+/// Fixed-length `Vec<f64>` with i.i.d. uniform entries in `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct VecF64 {
+    len: usize,
+    lo: f64,
+    hi: f64,
+}
+
+/// Fixed-length `Vec<f64>` with entries uniform in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics unless `lo < hi` and both are finite.
+pub fn vec_f64(len: usize, lo: f64, hi: f64) -> VecF64 {
+    assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+    VecF64 { len, lo, hi }
+}
+
+/// Per-index shrinking is only attempted for short vectors; beyond this the
+/// candidate count (and therefore property re-runs) would dominate runtime.
+const PER_ELEMENT_SHRINK_LIMIT: usize = 16;
+
+impl Gen for VecF64 {
+    type Value = Vec<f64>;
+
+    fn generate(&self, rng: &mut GaussianRng) -> Vec<f64> {
+        (0..self.len)
+            .map(|_| self.lo + (self.hi - self.lo) * rng.uniform())
+            .collect()
+    }
+
+    fn shrink(&self, value: &Vec<f64>) -> Vec<Vec<f64>> {
+        let t = simplest_f64(self.lo, self.hi);
+        let mut out: Vec<Vec<f64>> = Vec::new();
+        let mut push = |c: Vec<f64>| {
+            if &c != value && !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        // Whole-vector moves first (aggressive), then element-wise.
+        push(vec![t; value.len()]);
+        push(value.iter().map(|&v| t + (v - t) / 2.0).collect());
+        if value.len() <= PER_ELEMENT_SHRINK_LIMIT {
+            for i in 0..value.len() {
+                if (value[i] - t).abs() > 1e-9 {
+                    let mut c = value.clone();
+                    c[i] = t;
+                    push(c);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Dense matrix with i.i.d. uniform entries in `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixGen {
+    rows: usize,
+    cols: usize,
+    lo: f64,
+    hi: f64,
+}
+
+/// `rows × cols` matrix with entries uniform in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics unless the shape is non-empty, `lo < hi` and both are finite.
+pub fn matrix(rows: usize, cols: usize, lo: f64, hi: f64) -> MatrixGen {
+    assert!(rows > 0 && cols > 0, "empty matrix shape {rows}x{cols}");
+    assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+    MatrixGen { rows, cols, lo, hi }
+}
+
+impl Gen for MatrixGen {
+    type Value = Matrix;
+
+    fn generate(&self, rng: &mut GaussianRng) -> Matrix {
+        let data: Vec<f64> = (0..self.rows * self.cols)
+            .map(|_| self.lo + (self.hi - self.lo) * rng.uniform())
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data).expect("generator shape is valid")
+    }
+
+    fn shrink(&self, value: &Matrix) -> Vec<Matrix> {
+        let t = simplest_f64(self.lo, self.hi);
+        let rebuild = |data: Vec<f64>| {
+            Matrix::from_vec(self.rows, self.cols, data).expect("shape preserved")
+        };
+        let entries: Vec<f64> = (0..self.rows)
+            .flat_map(|r| value.row(r).to_vec())
+            .collect();
+        let mut out: Vec<Matrix> = Vec::new();
+        let mut push = |c: Matrix| {
+            if &c != value && !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        push(rebuild(vec![t; entries.len()]));
+        push(rebuild(entries.iter().map(|&v| t + (v - t) / 2.0).collect()));
+        if entries.len() <= PER_ELEMENT_SHRINK_LIMIT {
+            for i in 0..entries.len() {
+                if (entries[i] - t).abs() > 1e-9 {
+                    let mut c = entries.clone();
+                    c[i] = t;
+                    push(rebuild(c));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Well-conditioned SPD matrix `A = B Bᵀ + (n + 1)·I`.
+#[derive(Debug, Clone, Copy)]
+pub struct SpdGen {
+    n: usize,
+    scale: f64,
+}
+
+/// `n × n` SPD matrix built from a uniform `[-10, 10)` factor, matching the
+/// conditioning the dense-solver tests need.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn spd(n: usize) -> SpdGen {
+    assert!(n > 0, "empty SPD matrix");
+    SpdGen { n, scale: 10.0 }
+}
+
+impl Gen for SpdGen {
+    type Value = Matrix;
+
+    fn generate(&self, rng: &mut GaussianRng) -> Matrix {
+        let b = matrix(self.n, self.n, -self.scale, self.scale).generate(rng);
+        let mut a = b.gram();
+        for i in 0..self.n {
+            a[(i, i)] += self.n as f64 + 1.0;
+        }
+        a
+    }
+
+    fn shrink(&self, value: &Matrix) -> Vec<Matrix> {
+        // Both moves keep the value SPD: the diagonal-only matrix has
+        // entries ≥ n + 1 > 0, and averaging an SPD matrix with its own
+        // (positive) diagonal stays SPD.
+        let n = self.n;
+        let diag_only = {
+            let mut d = Matrix::zeros(n, n);
+            for i in 0..n {
+                d[(i, i)] = value[(i, i)];
+            }
+            d
+        };
+        let halved_off_diag = {
+            let mut h = value.clone();
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        h[(i, j)] /= 2.0;
+                    }
+                }
+            }
+            h
+        };
+        let mut out = Vec::new();
+        for c in [diag_only, halved_off_diag] {
+            let close = c.approx_eq(value, 1e-9 * value.max_abs().max(1.0));
+            if !close && !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> GaussianRng {
+        GaussianRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds_and_shrinks_toward_zero() {
+        let g = f64_range(-3.0, 5.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = g.generate(&mut r);
+            assert!((-3.0..5.0).contains(&v));
+        }
+        let cands = g.shrink(&4.0);
+        assert_eq!(cands[0], 0.0);
+        assert!(cands.iter().all(|&c| (-3.0..5.0).contains(&c)));
+    }
+
+    #[test]
+    fn positive_range_shrinks_toward_low_end() {
+        let g = f64_range(2.0, 9.0);
+        let cands = g.shrink(&8.0);
+        assert_eq!(cands[0], 2.0);
+        assert!(g.shrink(&2.0).is_empty());
+    }
+
+    #[test]
+    fn usize_range_generates_and_shrinks_in_bounds() {
+        let g = usize_range(3, 10);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = g.generate(&mut r);
+            assert!((3..10).contains(&v));
+        }
+        let cands = g.shrink(&9);
+        assert_eq!(cands[0], 3);
+        assert!(g.shrink(&3).is_empty());
+    }
+
+    #[test]
+    fn u64_range_in_bounds() {
+        let g = u64_range(0, 1000);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(g.generate(&mut r) < 1000);
+        }
+        assert_eq!(g.shrink(&500)[0], 0);
+    }
+
+    #[test]
+    fn vec_gen_has_fixed_len_and_aggressive_first_shrink() {
+        let g = vec_f64(5, 0.1, 2.0);
+        let mut r = rng();
+        let v = g.generate(&mut r);
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().all(|&x| (0.1..2.0).contains(&x)));
+        let cands = g.shrink(&v);
+        assert_eq!(cands[0], vec![0.1; 5]);
+    }
+
+    #[test]
+    fn matrix_gen_shape_and_shrink() {
+        let g = matrix(3, 4, -1.0, 1.0);
+        let mut r = rng();
+        let m = g.generate(&mut r);
+        assert_eq!(m.shape(), (3, 4));
+        let cands = g.shrink(&m);
+        assert!(!cands.is_empty());
+        assert_eq!(cands[0], Matrix::zeros(3, 4));
+    }
+
+    #[test]
+    fn spd_gen_is_symmetric_positive_definite_and_shrinks_spd() {
+        use voltsense_linalg::decomp::Cholesky;
+        let g = spd(5);
+        let mut r = rng();
+        let a = g.generate(&mut r);
+        assert!(Cholesky::new(&a).is_ok(), "generated matrix must be SPD");
+        for c in g.shrink(&a) {
+            assert!(Cholesky::new(&c).is_ok(), "shrunk matrix must stay SPD");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = vec_f64(8, -1.0, 1.0);
+        let a = g.generate(&mut GaussianRng::seed_from_u64(5));
+        let b = g.generate(&mut GaussianRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}
