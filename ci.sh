@@ -18,6 +18,10 @@ cargo test -q --offline
 echo "==> cargo bench --no-run --offline (bench targets must compile)"
 cargo bench --no-run --offline
 
+echo "==> fault-tolerance sweep smoke (small scale, fast bench config)"
+VOLTSENSE_SCALE=small TESTKIT_BENCH_FAST=1 \
+    cargo run --release --offline -p voltsense-bench --bin fault_tolerance_sweep
+
 echo "==> dependency policy: no external crates in any manifest"
 if grep -rEn 'rand|proptest|criterion' Cargo.toml crates/*/Cargo.toml; then
     echo "ERROR: external dependency reference found in a manifest" >&2

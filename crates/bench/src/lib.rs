@@ -91,6 +91,30 @@ impl Experiment {
     }
 }
 
+/// The workspace `results/` directory: `TESTKIT_RESULTS_DIR` if set, else
+/// found by walking up from this crate's manifest (falling back to the
+/// current directory). Mirrors the testkit bench harness so binaries and
+/// benches drop reports in the same place.
+pub fn results_dir() -> std::path::PathBuf {
+    use std::path::PathBuf;
+    if let Ok(dir) = std::env::var("TESTKIT_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        if dir.join("results").is_dir() {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            return start.join("results");
+        }
+    }
+}
+
 /// Prints a horizontal rule sized to a table width.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));

@@ -26,6 +26,21 @@ pub enum CoreError {
         /// The threshold used.
         threshold: f64,
     },
+    /// A sensor reading was NaN or infinite. Readings are rejected before
+    /// any monitor state changes, so a corrupted sample can never assert
+    /// *or* de-assert an alarm.
+    NonFiniteReading {
+        /// Index of the offending sensor within the reading vector.
+        sensor: usize,
+    },
+    /// Too many sensors have been lost for the fault-tolerant monitor to
+    /// keep predicting; the system needs recalibration or repair.
+    DegradedBeyondRecovery {
+        /// Number of sensors currently unusable.
+        failed: usize,
+        /// Maximum failures the configuration tolerates.
+        allowed: usize,
+    },
     /// Underlying dense algebra failed.
     Linalg(LinalgError),
     /// The group-lasso solver failed.
@@ -41,6 +56,16 @@ impl fmt::Display for CoreError {
                 f,
                 "no sensors selected at lambda {lambda}, threshold {threshold}; \
                  increase the budget or lower the threshold"
+            ),
+            CoreError::NonFiniteReading { sensor } => write!(
+                f,
+                "sensor {sensor} produced a NaN or infinite reading; \
+                 rejected before it could reach the model"
+            ),
+            CoreError::DegradedBeyondRecovery { failed, allowed } => write!(
+                f,
+                "{failed} sensors unusable but only {allowed} failures are \
+                 tolerated; monitoring can no longer degrade gracefully"
             ),
             CoreError::Linalg(e) => write!(f, "linear algebra failed: {e}"),
             CoreError::GroupLasso(e) => write!(f, "group lasso failed: {e}"),

@@ -56,6 +56,7 @@ mod predict;
 mod selection;
 
 pub use error::CoreError;
+pub use monitor::{EmergencyMonitor, FaultPolicy, MonitorDecision, MonitorStats, SensorHealth};
 pub use pipeline::{EvaluationReport, FittedMethodology, Methodology, MethodologyConfig};
-pub use predict::{GlDirectModel, VoltageMapModel};
+pub use predict::{CrossFamily, FaultTolerantModel, GlDirectModel, VoltageMapModel};
 pub use selection::{SelectionProblem, SelectionResult, SensorSelector};

@@ -11,9 +11,44 @@
 //! * **hysteresis** — once asserted, release only after the predicted
 //!   worst voltage recovers above `threshold + release_margin`, avoiding
 //!   alarm chatter around the margin.
+//!
+//! A monitor built with [`EmergencyMonitor::fault_tolerant`] additionally
+//! defends the prediction against sensor faults (see DESIGN.md, "Fault
+//! model & degradation policy"):
+//!
+//! * **plausibility gating** — a reading that is non-finite or outside the
+//!   configured rail bounds is excluded from this sample's prediction
+//!   immediately (the matching fallback model takes over) and counts one
+//!   strike against the sensor;
+//! * **cross-prediction health scoring** — each sensor is predicted from
+//!   the other `Q − 1`; per sample, the single worst violator of its
+//!   residual threshold gains a strike, every other plausible sensor's
+//!   strike counter resets;
+//! * **graceful degradation** — a sensor whose strikes reach
+//!   `health_persistence` is permanently failed and the pre-fitted
+//!   leave-one-out (or lazily fitted multi-failure) fallback model is
+//!   hot-swapped in; once more than `max_failed_sensors` are lost,
+//!   [`CoreError::DegradedBeyondRecovery`] is returned.
 
-use crate::predict::VoltageMapModel;
+use crate::predict::{FaultTolerantModel, VoltageMapModel};
 use crate::CoreError;
+
+/// Per-sample view of sensor health from a fault-tolerant monitor.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SensorHealth {
+    /// Positions (into the sensor list) permanently failed so far, sorted.
+    pub failed: Vec<usize>,
+    /// Positions gated out of *this* sample by plausibility checks
+    /// (excludes already-failed sensors), sorted.
+    pub gated: Vec<usize>,
+}
+
+impl SensorHealth {
+    /// `true` when this sample's prediction used a fallback model.
+    pub fn degraded(&self) -> bool {
+        !self.failed.is_empty() || !self.gated.is_empty()
+    }
+}
 
 /// One monitoring decision.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +61,9 @@ pub struct MonitorDecision {
     pub alarm: bool,
     /// `true` on the sample where the alarm transitions 0 → 1.
     pub rising_edge: bool,
+    /// Sensor health this sample; `None` for a naive (non-fault-tolerant)
+    /// monitor.
+    pub health: Option<SensorHealth>,
 }
 
 /// Counters accumulated over a monitoring session.
@@ -37,6 +75,94 @@ pub struct MonitorStats {
     pub alarmed_samples: u64,
     /// Number of distinct alarm events (rising edges).
     pub alarm_events: u64,
+    /// Readings excluded by plausibility gating (fault-tolerant monitors).
+    pub gated_readings: u64,
+    /// Sensors permanently failed so far (fault-tolerant monitors).
+    pub sensors_failed: u64,
+}
+
+/// Configuration of the fault-tolerance layer.
+///
+/// The residual threshold for sensor `i` is
+/// `max(residual_sigmas × cross_rms(i), min_residual)`: proportional to how
+/// well the training data says sensor `i` is predictable from the others,
+/// floored because noiseless training can drive `cross_rms` to ~0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPolicy {
+    /// Lowest plausible reading (V); anything below is gated.
+    pub rail_min: f64,
+    /// Highest plausible reading (V); anything above is gated.
+    pub rail_max: f64,
+    /// Residual threshold in multiples of the cross-prediction training
+    /// RMS.
+    pub residual_sigmas: f64,
+    /// Absolute floor on the residual threshold (V).
+    pub min_residual: f64,
+    /// Consecutive strikes before a sensor is permanently failed.
+    pub health_persistence: usize,
+    /// Most sensors the monitor may lose before
+    /// [`CoreError::DegradedBeyondRecovery`]; clamped to `Q − 1`.
+    pub max_failed_sensors: usize,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            rail_min: 0.0,
+            rail_max: 1.5,
+            residual_sigmas: 6.0,
+            min_residual: 0.005,
+            health_persistence: 3,
+            max_failed_sensors: usize::MAX,
+        }
+    }
+}
+
+impl FaultPolicy {
+    fn validate(&self) -> Result<(), CoreError> {
+        if !(self.rail_min.is_finite() && self.rail_max.is_finite() && self.rail_min < self.rail_max)
+        {
+            return Err(CoreError::InvalidConfig {
+                what: format!(
+                    "rail bounds must be finite with min < max, got [{}, {}]",
+                    self.rail_min, self.rail_max
+                ),
+            });
+        }
+        if !(self.residual_sigmas > 0.0) || !self.residual_sigmas.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: format!(
+                    "residual_sigmas must be finite and > 0, got {}",
+                    self.residual_sigmas
+                ),
+            });
+        }
+        if !(self.min_residual >= 0.0) || !self.min_residual.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: format!(
+                    "min_residual must be finite and >= 0, got {}",
+                    self.min_residual
+                ),
+            });
+        }
+        if self.health_persistence == 0 {
+            return Err(CoreError::InvalidConfig {
+                what: "health_persistence must be at least 1 sample".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// State of the fault-tolerance layer inside a monitor.
+#[derive(Debug, Clone)]
+struct FaultState {
+    model: FaultTolerantModel,
+    policy: FaultPolicy,
+    /// Per-sensor consecutive strike counters.
+    strikes: Vec<usize>,
+    /// Per-sensor permanent failure flags.
+    failed: Vec<bool>,
 }
 
 /// A stateful emergency monitor around a fitted [`VoltageMapModel`].
@@ -67,6 +193,7 @@ pub struct EmergencyMonitor {
     consecutive: usize,
     asserted: bool,
     stats: MonitorStats,
+    fault: Option<FaultState>,
 }
 
 impl EmergencyMonitor {
@@ -105,12 +232,61 @@ impl EmergencyMonitor {
             consecutive: 0,
             asserted: false,
             stats: MonitorStats::default(),
+            fault: None,
         })
+    }
+
+    /// Creates a fault-tolerant monitor: readings are plausibility-gated,
+    /// sensor health is scored by cross-prediction, and predictions
+    /// hot-swap to the matching fallback model as sensors fail.
+    ///
+    /// # Errors
+    ///
+    /// Same configuration conditions as [`EmergencyMonitor::new`], plus
+    /// [`CoreError::InvalidConfig`] for an out-of-range [`FaultPolicy`].
+    pub fn fault_tolerant(
+        model: FaultTolerantModel,
+        threshold: f64,
+        persistence: usize,
+        release_margin: f64,
+        policy: FaultPolicy,
+    ) -> Result<Self, CoreError> {
+        policy.validate()?;
+        let q = model.num_sensors();
+        let mut monitor =
+            EmergencyMonitor::new(model.primary().clone(), threshold, persistence, release_margin)?;
+        monitor.fault = Some(FaultState {
+            model,
+            policy,
+            strikes: vec![0; q],
+            failed: vec![false; q],
+        });
+        Ok(monitor)
     }
 
     /// The wrapped prediction model.
     pub fn model(&self) -> &VoltageMapModel {
         &self.model
+    }
+
+    /// `true` when the monitor carries the fault-tolerance layer.
+    pub fn is_fault_tolerant(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Positions of permanently failed sensors (empty for naive monitors).
+    pub fn failed_sensors(&self) -> Vec<usize> {
+        self.fault
+            .as_ref()
+            .map(|s| {
+                s.failed
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &f)| f)
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Accumulated session counters.
@@ -123,11 +299,16 @@ impl EmergencyMonitor {
         self.asserted
     }
 
-    /// Resets the debounce/hysteresis state and counters.
+    /// Resets the debounce/hysteresis state, counters, and any sensor
+    /// health state.
     pub fn reset(&mut self) {
         self.consecutive = 0;
         self.asserted = false;
         self.stats = MonitorStats::default();
+        if let Some(state) = self.fault.as_mut() {
+            state.strikes.iter_mut().for_each(|s| *s = 0);
+            state.failed.iter_mut().for_each(|f| *f = false);
+        }
     }
 
     /// Feeds one sample of placed-sensor readings (`Q` values) and returns
@@ -135,17 +316,129 @@ impl EmergencyMonitor {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::ShapeMismatch`] if the reading count differs
-    /// from the model's sensor count.
+    /// * [`CoreError::ShapeMismatch`] if the reading count differs from the
+    ///   model's sensor count.
+    /// * [`CoreError::NonFiniteReading`] (naive monitors only) for a NaN or
+    ///   infinite reading — rejected *before* any state change, so a
+    ///   corrupted sample cannot assert or de-assert the alarm. A
+    ///   fault-tolerant monitor gates such readings instead.
+    /// * [`CoreError::DegradedBeyondRecovery`] (fault-tolerant monitors)
+    ///   once more sensors are unusable than the policy tolerates.
     pub fn observe(&mut self, sensor_readings: &[f64]) -> Result<MonitorDecision, CoreError> {
-        let predicted = self.model.predict_from_sensors(sensor_readings)?;
-        let (worst_block, predicted_min) = predicted
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite prediction"))
-            .map(|(k, &v)| (k, v))
-            .expect("model predicts at least one block");
+        if self.fault.is_some() {
+            self.observe_fault_aware(sensor_readings)
+        } else {
+            self.observe_naive(sensor_readings)
+        }
+    }
 
+    fn observe_naive(&mut self, sensor_readings: &[f64]) -> Result<MonitorDecision, CoreError> {
+        if let Some(bad) = sensor_readings.iter().position(|v| !v.is_finite()) {
+            return Err(CoreError::NonFiniteReading { sensor: bad });
+        }
+        let predicted = self.model.predict_from_sensors(sensor_readings)?;
+        let (worst_block, predicted_min) = worst_prediction(&predicted);
+        Ok(self.resolve_alarm(predicted_min, worst_block, None))
+    }
+
+    fn observe_fault_aware(
+        &mut self,
+        sensor_readings: &[f64],
+    ) -> Result<MonitorDecision, CoreError> {
+        let state = self.fault.as_mut().expect("caller checked fault layer");
+        let q = state.model.num_sensors();
+        if sensor_readings.len() != q {
+            return Err(CoreError::ShapeMismatch {
+                what: format!("expected {q} sensor readings, got {}", sensor_readings.len()),
+            });
+        }
+
+        // 1. Plausibility gate: non-finite or out-of-rail readings are
+        //    excluded from this sample and strike their sensor.
+        let mut gated: Vec<usize> = Vec::new();
+        for (i, &v) in sensor_readings.iter().enumerate() {
+            if state.failed[i] {
+                continue;
+            }
+            if !v.is_finite() || v < state.policy.rail_min || v > state.policy.rail_max {
+                gated.push(i);
+            }
+        }
+
+        // 2. Cross-prediction residual scoring among the remaining
+        //    sensors, using a family fitted over exactly the survivors so
+        //    a dead sensor's reading never enters anyone's cross-model. A
+        //    faulty sensor inflates its healthy peers' residuals too (by
+        //    their cross-model weight on it, which can exceed 1), so blame
+        //    is assigned by matching the residual *pattern* against each
+        //    sensor's fault signature rather than by largest residual.
+        let unusable_now: Vec<usize> = (0..q)
+            .filter(|&i| state.failed[i] || gated.contains(&i))
+            .collect();
+        let mut scored: Vec<usize> = Vec::new();
+        let mut culprit = None;
+        if let Some(family) = state.model.cross_family(&unusable_now)? {
+            let residuals = family.residuals(sensor_readings)?;
+            scored = family.sensors().to_vec();
+            let any_violation = residuals.iter().enumerate().any(|(local, r)| {
+                let threshold_local = (state.policy.residual_sigmas * family.rms(local))
+                    .max(state.policy.min_residual);
+                r.abs() > threshold_local
+            });
+            if any_violation {
+                culprit = family.attribute(&residuals);
+            }
+        }
+
+        // 3. Update strikes and promote persistent offenders to failed.
+        for &i in &gated {
+            state.strikes[i] += 1;
+        }
+        for &i in &scored {
+            if culprit == Some(i) {
+                state.strikes[i] += 1;
+            } else {
+                state.strikes[i] = 0;
+            }
+        }
+        let mut newly_failed = 0u64;
+        for i in 0..q {
+            if !state.failed[i] && state.strikes[i] >= state.policy.health_persistence {
+                state.failed[i] = true;
+                newly_failed += 1;
+            }
+        }
+
+        // 4. Degradation budget, then predict with the surviving sensors.
+        let failed: Vec<usize> = (0..q).filter(|&i| state.failed[i]).collect();
+        let allowed = state.policy.max_failed_sensors.min(q.saturating_sub(1));
+        gated.retain(|i| !state.failed[*i]);
+        let unusable = failed.len() + gated.len();
+        if failed.len() > allowed || unusable >= q {
+            self.stats.sensors_failed += newly_failed;
+            return Err(CoreError::DegradedBeyondRecovery {
+                failed: unusable,
+                allowed,
+            });
+        }
+        let mut excluded = failed.clone();
+        excluded.extend(gated.iter().copied());
+        let predicted = state.model.predict_excluding(sensor_readings, &excluded)?;
+        let (worst_block, predicted_min) = worst_prediction(&predicted);
+
+        let health = SensorHealth { failed, gated };
+        self.stats.gated_readings += health.gated.len() as u64;
+        self.stats.sensors_failed += newly_failed;
+        Ok(self.resolve_alarm(predicted_min, worst_block, Some(health)))
+    }
+
+    /// Debounce/hysteresis state machine shared by both observe paths.
+    fn resolve_alarm(
+        &mut self,
+        predicted_min: f64,
+        worst_block: usize,
+        health: Option<SensorHealth>,
+    ) -> MonitorDecision {
         let was_asserted = self.asserted;
         if self.asserted {
             // Hysteresis: release only above threshold + margin.
@@ -170,13 +463,25 @@ impl EmergencyMonitor {
         if rising_edge {
             self.stats.alarm_events += 1;
         }
-        Ok(MonitorDecision {
+        MonitorDecision {
             predicted_min,
             worst_block,
             alarm: self.asserted,
             rising_edge,
-        })
+            health,
+        }
     }
+}
+
+/// Worst (lowest) predicted voltage and its block. `total_cmp` keeps this
+/// panic-free even if a degenerate fit ever produced a NaN prediction.
+fn worst_prediction(predicted: &[f64]) -> (usize, f64) {
+    predicted
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(k, &v)| (k, v))
+        .expect("model predicts at least one block")
 }
 
 #[cfg(test)]
@@ -272,5 +577,243 @@ mod tests {
     fn wrong_reading_count_rejected() {
         let mut m = EmergencyMonitor::new(model(), 0.85, 1, 0.0).unwrap();
         assert!(m.observe(&[0.9, 0.9]).is_err());
+    }
+
+    #[test]
+    fn naive_monitor_rejects_non_finite_readings() {
+        let mut m = EmergencyMonitor::new(model(), 0.85, 1, 0.0).unwrap();
+        assert!(matches!(
+            m.observe(&[f64::NAN]),
+            Err(CoreError::NonFiniteReading { sensor: 0 })
+        ));
+        assert!(matches!(
+            m.observe(&[f64::INFINITY]),
+            Err(CoreError::NonFiniteReading { sensor: 0 })
+        ));
+        // The rejected samples left no trace in the counters.
+        assert_eq!(m.stats(), MonitorStats::default());
+    }
+
+    #[test]
+    fn nan_reading_cannot_deassert_an_active_alarm() {
+        // Regression: a NaN used to flow through the OLS model, turn the
+        // prediction NaN, and (NaN >= threshold + margin being false at
+        // every comparison) could corrupt the alarm state machine.
+        let mut m = EmergencyMonitor::new(model(), 0.85, 1, 0.0).unwrap();
+        assert!(m.observe(&[0.80]).unwrap().alarm);
+        assert!(m.observe(&[f64::NAN]).is_err());
+        assert!(m.is_alarmed(), "NaN de-asserted the alarm");
+        let s = m.stats();
+        assert_eq!((s.samples, s.alarm_events), (1, 1));
+    }
+
+    /// Three sensors driven by two shared droop signals (so each sensor is
+    /// predictable from the other two) plus tiny independent wiggles that
+    /// keep the fits non-degenerate; two blocks.
+    fn ft_training() -> (Matrix, Matrix) {
+        let n = 40;
+        let mut x = Matrix::zeros(3, n);
+        let mut f = Matrix::zeros(2, n);
+        for s in 0..n {
+            let t = s as f64;
+            let s1 = 0.05 * (t * 0.7).sin();
+            let s2 = 0.04 * (t * 1.3).cos();
+            let a = 0.93 + s1 + 0.002 * (t * 3.1).sin();
+            let b = 0.95 + 0.5 * s1 + 0.5 * s2 + 0.002 * (t * 2.3).cos();
+            let c = 0.94 + s2 + 0.002 * (t * 4.7).sin();
+            x[(0, s)] = a;
+            x[(1, s)] = b;
+            x[(2, s)] = c;
+            f[(0, s)] = 0.6 * a + 0.4 * b;
+            f[(1, s)] = 0.5 * b + 0.5 * c;
+        }
+        (x, f)
+    }
+
+    fn ft_monitor(policy: FaultPolicy) -> EmergencyMonitor {
+        let (x, f) = ft_training();
+        let ft = FaultTolerantModel::fit(&x, &f, &[0, 1, 2]).unwrap();
+        EmergencyMonitor::fault_tolerant(ft, 0.85, 1, 0.0, policy).unwrap()
+    }
+
+    #[test]
+    fn fault_tolerant_matches_naive_on_healthy_readings() {
+        let (x, f) = ft_training();
+        let ft = FaultTolerantModel::fit(&x, &f, &[0, 1, 2]).unwrap();
+        let mut naive =
+            EmergencyMonitor::new(ft.primary().clone(), 0.85, 1, 0.0).unwrap();
+        let mut aware = ft_monitor(FaultPolicy::default());
+        for s in 0..20 {
+            let readings: Vec<f64> = (0..3).map(|i| x[(i, s)]).collect();
+            let dn = naive.observe(&readings).unwrap();
+            let da = aware.observe(&readings).unwrap();
+            assert_eq!(dn.predicted_min, da.predicted_min, "sample {s}");
+            assert_eq!(dn.alarm, da.alarm);
+            let health = da.health.expect("fault-tolerant decision carries health");
+            assert!(!health.degraded());
+        }
+        assert!(aware.failed_sensors().is_empty());
+    }
+
+    #[test]
+    fn implausible_reading_is_gated_and_fallback_used_immediately() {
+        let (x, f) = ft_training();
+        let ft = FaultTolerantModel::fit(&x, &f, &[0, 1, 2]).unwrap();
+        let mut aware = EmergencyMonitor::fault_tolerant(
+            ft.clone(),
+            0.85,
+            1,
+            0.0,
+            FaultPolicy::default(),
+        )
+        .unwrap();
+        let readings = [x[(0, 5)], f64::NAN, x[(2, 5)]];
+        let d = aware.observe(&readings).unwrap();
+        let health = d.health.unwrap();
+        assert_eq!(health.gated, vec![1]);
+        // The very first gated sample already predicts with leave-1-out.
+        let survivors = [readings[0], readings[2]];
+        let expect = ft.leave_one_out(1).unwrap().predict(&survivors).unwrap();
+        let (_, want_min) = super::worst_prediction(&expect);
+        assert_eq!(d.predicted_min, want_min);
+        assert_eq!(aware.stats().gated_readings, 1);
+    }
+
+    #[test]
+    fn persistent_implausible_sensor_is_permanently_failed() {
+        let mut aware = ft_monitor(FaultPolicy {
+            health_persistence: 3,
+            ..FaultPolicy::default()
+        });
+        let (x, _) = ft_training();
+        for s in 0..3 {
+            let readings = [x[(0, s)], f64::NAN, x[(2, s)]];
+            aware.observe(&readings).unwrap();
+        }
+        assert_eq!(aware.failed_sensors(), vec![1]);
+        assert_eq!(aware.stats().sensors_failed, 1);
+        // Once failed, the sensor's reading is ignored even when plausible
+        // again: predictions equal the leave-1-out fallback's.
+        let (x, f) = ft_training();
+        let ft = FaultTolerantModel::fit(&x, &f, &[0, 1, 2]).unwrap();
+        let readings = [x[(0, 9)], x[(1, 9)], x[(2, 9)]];
+        let d = aware.observe(&readings).unwrap();
+        let expect = ft
+            .leave_one_out(1)
+            .unwrap()
+            .predict(&[readings[0], readings[2]])
+            .unwrap();
+        let (_, want_min) = super::worst_prediction(&expect);
+        assert_eq!(d.predicted_min, want_min);
+        assert_eq!(d.health.unwrap().failed, vec![1]);
+    }
+
+    #[test]
+    fn cross_prediction_flags_a_stuck_sensor() {
+        // Stuck-at 0.80 V: within rail bounds, so only the residual
+        // scoring (not the plausibility gate) can see it.
+        let mut aware = ft_monitor(FaultPolicy {
+            health_persistence: 4,
+            ..FaultPolicy::default()
+        });
+        let (x, _) = ft_training();
+        for s in 0..12 {
+            let readings = [x[(0, s)], 0.80, x[(2, s)]];
+            match aware.observe(&readings) {
+                Ok(_) => {}
+                Err(e) => panic!("sample {s}: {e}"),
+            }
+            if aware.failed_sensors() == vec![1] {
+                return;
+            }
+        }
+        panic!(
+            "stuck sensor never flagged; failed = {:?}",
+            aware.failed_sensors()
+        );
+    }
+
+    #[test]
+    fn healthy_sensors_are_not_blamed_for_a_peer_fault() {
+        // Sensor 0's cross-model weight on sensor 1 can exceed 1 in this
+        // geometry, so a worst-residual rule would blame sensor 0; the
+        // signature match must still pin sensor 1.
+        let mut aware = ft_monitor(FaultPolicy {
+            health_persistence: 2,
+            ..FaultPolicy::default()
+        });
+        let (x, _) = ft_training();
+        for s in 0..10 {
+            let readings = [x[(0, s)], 0.80, x[(2, s)]];
+            if aware.observe(&readings).is_err() {
+                break;
+            }
+            if !aware.failed_sensors().is_empty() {
+                break;
+            }
+        }
+        assert_eq!(aware.failed_sensors(), vec![1]);
+    }
+
+    #[test]
+    fn too_many_failures_is_a_typed_error() {
+        let mut aware = ft_monitor(FaultPolicy {
+            health_persistence: 1,
+            max_failed_sensors: 1,
+            ..FaultPolicy::default()
+        });
+        let (x, _) = ft_training();
+        // Sample 1: sensor 1 dies (allowed).
+        aware
+            .observe(&[x[(0, 0)], f64::NAN, x[(2, 0)]])
+            .unwrap();
+        // Sample 2: sensor 2 dies too — over budget.
+        let err = aware
+            .observe(&[x[(0, 1)], f64::NAN, f64::NAN])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::DegradedBeyondRecovery { failed: 2, allowed: 1 }
+        ));
+    }
+
+    #[test]
+    fn reset_clears_fault_state() {
+        let mut aware = ft_monitor(FaultPolicy {
+            health_persistence: 1,
+            ..FaultPolicy::default()
+        });
+        let (x, _) = ft_training();
+        aware.observe(&[x[(0, 0)], f64::NAN, x[(2, 0)]]).unwrap();
+        assert_eq!(aware.failed_sensors(), vec![1]);
+        aware.reset();
+        assert!(aware.failed_sensors().is_empty());
+        assert_eq!(aware.stats(), MonitorStats::default());
+    }
+
+    #[test]
+    fn bad_fault_policies_rejected() {
+        let (x, f) = ft_training();
+        let ft = FaultTolerantModel::fit(&x, &f, &[0, 1, 2]).unwrap();
+        let mk = |policy| {
+            EmergencyMonitor::fault_tolerant(ft.clone(), 0.85, 1, 0.0, policy).is_err()
+        };
+        assert!(mk(FaultPolicy {
+            rail_min: 1.0,
+            rail_max: 0.5,
+            ..FaultPolicy::default()
+        }));
+        assert!(mk(FaultPolicy {
+            residual_sigmas: 0.0,
+            ..FaultPolicy::default()
+        }));
+        assert!(mk(FaultPolicy {
+            min_residual: -1.0,
+            ..FaultPolicy::default()
+        }));
+        assert!(mk(FaultPolicy {
+            health_persistence: 0,
+            ..FaultPolicy::default()
+        }));
     }
 }

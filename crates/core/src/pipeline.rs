@@ -3,7 +3,7 @@ use voltsense_linalg::Matrix;
 
 use crate::detection::{self, DetectionOutcome};
 use crate::metrics;
-use crate::predict::VoltageMapModel;
+use crate::predict::{FaultTolerantModel, VoltageMapModel};
 use crate::selection::{SelectionResult, SensorSelector};
 use crate::CoreError;
 
@@ -144,6 +144,23 @@ impl FittedMethodology {
     /// The emergency threshold the pipeline detects against.
     pub fn emergency_threshold(&self) -> f64 {
         self.emergency_threshold
+    }
+
+    /// Refits the placed sensor set into a [`FaultTolerantModel`] (primary
+    /// model + leave-one-out fallback family + cross-prediction health
+    /// models) from the same training data the pipeline was fitted on.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FaultTolerantModel::fit`]; in particular
+    /// [`CoreError::ShapeMismatch`] if `x`/`f` disagree with the fitted
+    /// candidate count.
+    pub fn fault_tolerant_model(
+        &self,
+        x: &Matrix,
+        f: &Matrix,
+    ) -> Result<FaultTolerantModel, CoreError> {
+        FaultTolerantModel::fit(x, f, &self.selection.selected)
     }
 
     /// Evaluates prediction accuracy and detection error rates on held-out
@@ -289,6 +306,20 @@ mod tests {
         let cfg = MethodologyConfig::default();
         assert!(Methodology::fit_with_sensor_count(&x, &f, 0, &cfg).is_err());
         assert!(Methodology::fit_with_sensor_count(&x, &f, 99, &cfg).is_err());
+    }
+
+    #[test]
+    fn fault_tolerant_model_reuses_the_placed_sensors() {
+        let (x, f) = training(120, 0.0);
+        let fitted = Methodology::fit(&x, &f, &MethodologyConfig::default()).unwrap();
+        let mut ft = fitted.fault_tolerant_model(&x, &f).unwrap();
+        assert_eq!(ft.primary().sensor_indices(), fitted.sensors());
+        // Healthy-path predictions agree with the pipeline's own model.
+        let sample = x.col(3);
+        let via_pipeline = fitted.model().predict_from_candidates(&sample).unwrap();
+        let readings: Vec<f64> = fitted.sensors().iter().map(|&s| sample[s]).collect();
+        let via_ft = ft.predict_excluding(&readings, &[]).unwrap();
+        assert_eq!(via_pipeline, via_ft);
     }
 
     #[test]

@@ -1,5 +1,7 @@
+use std::collections::BTreeMap;
+
 use voltsense_linalg::lstsq::{self, LinearFit};
-use voltsense_linalg::Matrix;
+use voltsense_linalg::{vec_ops, Matrix};
 
 use crate::selection::SelectionResult;
 use crate::CoreError;
@@ -95,7 +97,10 @@ impl VoltageMapModel {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::ShapeMismatch`] if `readings.len() != Q`.
+    /// * [`CoreError::ShapeMismatch`] if `readings.len() != Q`.
+    /// * [`CoreError::NonFiniteReading`] for a NaN or infinite reading —
+    ///   a single corrupted input would otherwise poison *every* predicted
+    ///   node.
     pub fn predict_from_sensors(&self, readings: &[f64]) -> Result<Vec<f64>, CoreError> {
         if readings.len() != self.num_sensors() {
             return Err(CoreError::ShapeMismatch {
@@ -105,6 +110,9 @@ impl VoltageMapModel {
                     readings.len()
                 ),
             });
+        }
+        if let Some(bad) = readings.iter().position(|v| !v.is_finite()) {
+            return Err(CoreError::NonFiniteReading { sensor: bad });
         }
         Ok(self.fit.predict(readings)?)
     }
@@ -180,6 +188,353 @@ impl VoltageMapModel {
         Ok((0..pred.cols())
             .map(|s| (0..pred.rows()).any(|k| pred[(k, s)] < threshold))
             .collect())
+    }
+}
+
+/// A [`VoltageMapModel`] hardened against sensor loss: alongside the
+/// primary Q-sensor fit it pre-fits the whole leave-one-sensor-out fallback
+/// family (Q extra OLS refits on the same training matrices) plus a
+/// cross-prediction model per sensor (each sensor's reading predicted from
+/// the other Q−1), so the runtime monitor can score sensor health and
+/// hot-swap a fallback the moment a sensor is flagged.
+///
+/// Multi-failure fallbacks (2+ sensors down at once) are fitted lazily on
+/// first use and cached, keyed by the excluded set.
+#[derive(Debug, Clone)]
+pub struct FaultTolerantModel {
+    primary: VoltageMapModel,
+    /// `Q x N` training readings of the placed sensors.
+    x_sel: Matrix,
+    /// `K x N` training targets, kept for lazy multi-failure refits.
+    f_train: Matrix,
+    /// Per-sensor training-mean reading, used as a neutral stand-in when a
+    /// lost sensor's value is needed by a cross-prediction input vector.
+    sensor_means: Vec<f64>,
+    /// `fallbacks[i]` predicts all targets without sensor `i` (empty when
+    /// `Q == 1` — there is nothing to fall back to).
+    fallbacks: Vec<LinearFit>,
+    /// Cross-prediction families keyed by the excluded sensor set: the
+    /// empty key (fitted eagerly) scores all Q sensors against each other;
+    /// reduced families are fitted lazily as sensors drop out, so health
+    /// scoring among survivors never needs a stand-in value for a dead
+    /// sensor's reading.
+    cross_families: BTreeMap<Vec<usize>, CrossFamily>,
+    /// Lazily fitted fallbacks for multi-sensor exclusions.
+    multi_cache: BTreeMap<Vec<usize>, LinearFit>,
+}
+
+/// Mutual cross-prediction models over one set of surviving sensors: each
+/// sensor predicted from the others, plus per-sensor fault *signatures*
+/// for blame attribution.
+///
+/// When sensor `k` alone reads wrong by `e`, its own cross-residual moves
+/// by `e` and every other sensor `i`'s by `−w_ik·e` (`w_ik` = weight of
+/// sensor `k` in sensor `i`'s cross-model) — a fixed direction computable
+/// at fit time. Matching the observed residual vector against these
+/// signatures names the sensor that *caused* the disturbance, which a
+/// naive worst-residual rule gets wrong whenever some `|w_ik| > 1`.
+#[derive(Debug, Clone)]
+pub struct CrossFamily {
+    /// Global sensor positions covered, sorted ascending.
+    sensors: Vec<usize>,
+    /// Reading-vector length these models expect.
+    num_sensors_total: usize,
+    /// `fits[local]` predicts `sensors[local]` from the rest, with its
+    /// training RMS residual.
+    fits: Vec<(LinearFit, f64)>,
+    /// Unit-norm residual signatures, indexed like `sensors`.
+    signatures: Vec<Vec<f64>>,
+}
+
+impl CrossFamily {
+    fn fit(x_sel: &Matrix, sensors: &[usize]) -> Result<Self, CoreError> {
+        debug_assert!(sensors.len() >= 2, "caller guarantees two survivors");
+        let n = sensors.len();
+        let mut fits = Vec::with_capacity(n);
+        for (local, &s) in sensors.iter().enumerate() {
+            let others: Vec<usize> = sensors
+                .iter()
+                .enumerate()
+                .filter(|&(l, _)| l != local)
+                .map(|(_, &j)| j)
+                .collect();
+            let x_others = x_sel.select_rows(&others);
+            let target = x_sel.select_rows(&[s]);
+            let fit = lstsq::ols_with_intercept(&x_others, &target)?;
+            let rms = fit.rms_residual;
+            fits.push((fit, rms));
+        }
+        let mut signatures = Vec::with_capacity(n);
+        for k in 0..n {
+            let mut sig = vec![0.0; n];
+            sig[k] = 1.0;
+            for i in 0..n {
+                if i == k {
+                    continue;
+                }
+                // Position of sensor k among sensor i's predictors.
+                let pos = (0..n)
+                    .filter(|&l| l != i)
+                    .position(|l| l == k)
+                    .expect("k != i, so k is among i's predictors");
+                sig[i] = -fits[i].0.coefficients[(0, pos)];
+            }
+            let norm = sig.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                sig.iter_mut().for_each(|v| *v /= norm);
+            }
+            signatures.push(sig);
+        }
+        Ok(CrossFamily {
+            sensors: sensors.to_vec(),
+            num_sensors_total: x_sel.rows(),
+            fits,
+            signatures,
+        })
+    }
+
+    /// Global sensor positions this family scores, sorted.
+    pub fn sensors(&self) -> &[usize] {
+        &self.sensors
+    }
+
+    /// Training RMS residual of the cross-model for `sensors()[local]`.
+    pub fn rms(&self, local: usize) -> f64 {
+        self.fits[local].1
+    }
+
+    /// Cross-prediction residuals (`reading − predicted-from-peers`) for
+    /// every covered sensor, indexed like [`CrossFamily::sensors`].
+    /// `readings` is the full Q-vector; entries outside the family are
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] on a wrong-length vector.
+    pub fn residuals(&self, readings: &[f64]) -> Result<Vec<f64>, CoreError> {
+        if readings.len() != self.num_sensors_total {
+            return Err(CoreError::ShapeMismatch {
+                what: format!(
+                    "expected {} readings, got {}",
+                    self.num_sensors_total,
+                    readings.len()
+                ),
+            });
+        }
+        let mut out = Vec::with_capacity(self.sensors.len());
+        for (local, &s) in self.sensors.iter().enumerate() {
+            let others: Vec<f64> = self
+                .sensors
+                .iter()
+                .enumerate()
+                .filter(|&(l, _)| l != local)
+                .map(|(_, &j)| readings[j])
+                .collect();
+            let pred = self.fits[local].0.predict(&others)?[0];
+            out.push(readings[s] - pred);
+        }
+        Ok(out)
+    }
+
+    /// Attributes a residual pattern (as returned by
+    /// [`CrossFamily::residuals`]) to the *global* position of the sensor
+    /// whose fault signature matches it best, or `None` if nothing
+    /// correlates.
+    pub fn attribute(&self, residuals: &[f64]) -> Option<usize> {
+        if residuals.len() != self.sensors.len() {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (k, sig) in self.signatures.iter().enumerate() {
+            let dot: f64 = residuals.iter().zip(sig).map(|(r, s)| r * s).sum();
+            let score = dot.abs();
+            if score.is_finite() && best.is_none_or(|(_, b)| score > b) {
+                best = Some((k, score));
+            }
+        }
+        best.map(|(k, _)| self.sensors[k])
+    }
+}
+
+impl FaultTolerantModel {
+    /// Fits the primary model plus the fallback and cross-prediction
+    /// families.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`VoltageMapModel::fit`]; every auxiliary fit
+    /// uses the same training matrices, so it can only add least-squares
+    /// failures on degenerate data.
+    pub fn fit(x: &Matrix, f: &Matrix, sensors: &[usize]) -> Result<Self, CoreError> {
+        let primary = VoltageMapModel::fit(x, f, sensors)?;
+        let x_sel = x.select_rows(sensors);
+        let q = sensors.len();
+        let sensor_means: Vec<f64> = (0..q).map(|i| vec_ops::mean(x_sel.row(i))).collect();
+        let mut fallbacks = Vec::new();
+        let mut cross_families = BTreeMap::new();
+        if q > 1 {
+            for i in 0..q {
+                let others: Vec<usize> = (0..q).filter(|&j| j != i).collect();
+                let x_others = x_sel.select_rows(&others);
+                fallbacks.push(lstsq::ols_with_intercept(&x_others, f)?);
+            }
+            let all: Vec<usize> = (0..q).collect();
+            cross_families.insert(Vec::new(), CrossFamily::fit(&x_sel, &all)?);
+        }
+        Ok(FaultTolerantModel {
+            primary,
+            x_sel,
+            f_train: f.clone(),
+            sensor_means,
+            fallbacks,
+            cross_families,
+            multi_cache: BTreeMap::new(),
+        })
+    }
+
+    /// The primary (all-sensors) model.
+    pub fn primary(&self) -> &VoltageMapModel {
+        &self.primary
+    }
+
+    /// Number of placed sensors `Q`.
+    pub fn num_sensors(&self) -> usize {
+        self.primary.num_sensors()
+    }
+
+    /// Per-sensor training-mean readings.
+    pub fn sensor_means(&self) -> &[f64] {
+        &self.sensor_means
+    }
+
+    /// The pre-fitted leave-`i`-out fallback, or `None` when `Q == 1`.
+    pub fn leave_one_out(&self, i: usize) -> Option<&LinearFit> {
+        self.fallbacks.get(i)
+    }
+
+    /// Predicts sensor `i`'s reading from the other sensors' entries of
+    /// `readings` (the full Q-vector; entry `i` itself is ignored). `None`
+    /// when `Q == 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] on a wrong-length vector or an
+    /// out-of-range sensor index.
+    pub fn cross_predict(&self, i: usize, readings: &[f64]) -> Result<Option<f64>, CoreError> {
+        let q = self.num_sensors();
+        if readings.len() != q {
+            return Err(CoreError::ShapeMismatch {
+                what: format!("expected {q} readings, got {}", readings.len()),
+            });
+        }
+        if i >= q {
+            return Err(CoreError::ShapeMismatch {
+                what: format!("sensor position {i} out of range for {q} sensors"),
+            });
+        }
+        let Some(family) = self.cross_families.get(&Vec::new()) else {
+            return Ok(None);
+        };
+        let residuals = family.residuals(readings)?;
+        Ok(Some(readings[i] - residuals[i]))
+    }
+
+    /// Training RMS residual of sensor `i`'s cross-prediction model, or
+    /// `None` when `Q == 1`.
+    pub fn cross_rms(&self, i: usize) -> Option<f64> {
+        self.cross_families
+            .get(&Vec::new())
+            .map(|family| family.rms(i))
+    }
+
+    /// The cross-prediction family over the sensors *not* in `excluded`,
+    /// fitting and caching it on first use. Returns `None` when fewer than
+    /// two sensors survive (mutual prediction needs a peer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] for an out-of-range excluded
+    /// position; propagates least-squares failures on degenerate data.
+    pub fn cross_family(&mut self, excluded: &[usize]) -> Result<Option<&CrossFamily>, CoreError> {
+        let q = self.num_sensors();
+        let mut key: Vec<usize> = excluded.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(&bad) = key.iter().find(|&&i| i >= q) {
+            return Err(CoreError::ShapeMismatch {
+                what: format!("excluded position {bad} out of range for {q} sensors"),
+            });
+        }
+        if q - key.len() < 2 {
+            return Ok(None);
+        }
+        if !self.cross_families.contains_key(&key) {
+            let survivors: Vec<usize> = (0..q).filter(|i| !key.contains(i)).collect();
+            let family = CrossFamily::fit(&self.x_sel, &survivors)?;
+            self.cross_families.insert(key.clone(), family);
+        }
+        Ok(self.cross_families.get(&key))
+    }
+
+    /// Predicts all critical-node voltages from the placed sensors'
+    /// readings, ignoring the sensors in `excluded` (positions into the
+    /// sensor list, i.e. `0..Q`).
+    ///
+    /// With an empty exclusion this is exactly the primary model; with one
+    /// exclusion it is the pre-fitted leave-one-out fallback; with more it
+    /// fits (once) and caches an OLS refit on the surviving sensors.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ShapeMismatch`] on a wrong-length reading vector or
+    ///   an out-of-range excluded position.
+    /// * [`CoreError::DegradedBeyondRecovery`] when the exclusion leaves no
+    ///   surviving sensor.
+    pub fn predict_excluding(
+        &mut self,
+        readings: &[f64],
+        excluded: &[usize],
+    ) -> Result<Vec<f64>, CoreError> {
+        let q = self.num_sensors();
+        if readings.len() != q {
+            return Err(CoreError::ShapeMismatch {
+                what: format!("expected {q} readings, got {}", readings.len()),
+            });
+        }
+        let mut key: Vec<usize> = excluded.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(&bad) = key.iter().find(|&&i| i >= q) {
+            return Err(CoreError::ShapeMismatch {
+                what: format!("excluded position {bad} out of range for {q} sensors"),
+            });
+        }
+        if key.is_empty() {
+            return self.primary.predict_from_sensors(readings);
+        }
+        if key.len() >= q {
+            return Err(CoreError::DegradedBeyondRecovery {
+                failed: key.len(),
+                allowed: q - 1,
+            });
+        }
+        let survivors: Vec<usize> = (0..q).filter(|i| !key.contains(i)).collect();
+        // Excluded entries may legitimately be NaN (a dead sensor); only
+        // the surviving readings must be finite.
+        if let Some(&bad) = survivors.iter().find(|&&i| !readings[i].is_finite()) {
+            return Err(CoreError::NonFiniteReading { sensor: bad });
+        }
+        let surviving_readings: Vec<f64> = survivors.iter().map(|&i| readings[i]).collect();
+        if key.len() == 1 {
+            return Ok(self.fallbacks[key[0]].predict(&surviving_readings)?);
+        }
+        if !self.multi_cache.contains_key(&key) {
+            let x_surv = self.x_sel.select_rows(&survivors);
+            let fit = lstsq::ols_with_intercept(&x_surv, &self.f_train)?;
+            self.multi_cache.insert(key.clone(), fit);
+        }
+        let fit = self.multi_cache.get(&key).expect("inserted above");
+        Ok(fit.predict(&surviving_readings)?)
     }
 }
 
@@ -304,6 +659,121 @@ mod tests {
         assert!(model.predict_from_sensors(&[1.0]).is_err());
         assert!(model.predict_from_candidates(&[1.0]).is_err());
         assert!(model.predict_matrix(&Matrix::zeros(5, 4)).is_err());
+    }
+
+    #[test]
+    fn non_finite_readings_rejected_with_typed_error() {
+        let (x, f) = training();
+        let model = VoltageMapModel::fit(&x, &f, &[0, 2]).unwrap();
+        assert!(matches!(
+            model.predict_from_sensors(&[0.9, f64::NAN]),
+            Err(CoreError::NonFiniteReading { sensor: 1 })
+        ));
+        assert!(matches!(
+            model.predict_from_candidates(&[f64::INFINITY, 0.9, 0.9]),
+            Err(CoreError::NonFiniteReading { sensor: 0 })
+        ));
+        // A surviving NaN is rejected even on the fallback path.
+        let mut ft = FaultTolerantModel::fit(&x, &f, &[0, 1, 2]).unwrap();
+        assert!(matches!(
+            ft.predict_excluding(&[0.9, f64::NAN, 0.9], &[2]),
+            Err(CoreError::NonFiniteReading { sensor: 1 })
+        ));
+    }
+
+    #[test]
+    fn fault_tolerant_with_no_exclusions_matches_primary() {
+        let (x, f) = training();
+        let mut ft = FaultTolerantModel::fit(&x, &f, &[0, 1, 2]).unwrap();
+        let readings = [0.91, 0.95, 0.93];
+        let primary = ft.primary().predict_from_sensors(&readings).unwrap();
+        let via_ft = ft.predict_excluding(&readings, &[]).unwrap();
+        assert_eq!(primary, via_ft);
+    }
+
+    #[test]
+    fn excluding_sensor_i_is_exactly_the_leave_i_out_model() {
+        let (x, f) = training();
+        let mut ft = FaultTolerantModel::fit(&x, &f, &[0, 1, 2]).unwrap();
+        let readings = [0.91, 0.95, 0.93];
+        for i in 0..3 {
+            let survivors: Vec<f64> = (0..3).filter(|&j| j != i).map(|j| readings[j]).collect();
+            let direct = ft.leave_one_out(i).unwrap().predict(&survivors).unwrap();
+            let via_excl = ft.predict_excluding(&readings, &[i]).unwrap();
+            assert_eq!(direct, via_excl, "sensor {i}");
+        }
+    }
+
+    #[test]
+    fn fallback_recovers_targets_the_survivors_can_express() {
+        // f0 depends only on x0; losing sensor 2 must not hurt f0 at all.
+        let (x, f) = training();
+        let mut ft = FaultTolerantModel::fit(&x, &f, &[0, 2]).unwrap();
+        let truth = 0.9 * 0.90 + 0.05;
+        let degraded = ft.predict_excluding(&[0.90, f64::NAN], &[1]).unwrap();
+        assert!((degraded[0] - truth).abs() < 1e-9, "got {}", degraded[0]);
+    }
+
+    #[test]
+    fn multi_failure_refit_is_cached_and_consistent() {
+        let (x, f) = training();
+        let mut ft = FaultTolerantModel::fit(&x, &f, &[0, 1, 2]).unwrap();
+        let readings = [0.91, 0.95, 0.93];
+        let a = ft.predict_excluding(&readings, &[1, 2]).unwrap();
+        let b = ft.predict_excluding(&readings, &[2, 1]).unwrap();
+        assert_eq!(a, b);
+        // The cached refit equals a from-scratch OLS on the survivor row.
+        let x_surv = x.select_rows(&[0]);
+        let direct = lstsq::ols_with_intercept(&x_surv, &f)
+            .unwrap()
+            .predict(&[readings[0]])
+            .unwrap();
+        for (got, want) in a.iter().zip(&direct) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cross_prediction_tracks_healthy_sensors() {
+        // Sensors 0 and 2 are driven by smooth signals; the cross fit on
+        // noiseless training data predicts each from the others closely.
+        let (x, f) = training();
+        let ft = FaultTolerantModel::fit(&x, &f, &[0, 1, 2]).unwrap();
+        for s in [0usize, 7, 19] {
+            let readings: Vec<f64> = (0..3).map(|i| x[(i, s)]).collect();
+            for i in 0..3 {
+                let pred = ft.cross_predict(i, &readings).unwrap().unwrap();
+                let rms = ft.cross_rms(i).unwrap();
+                assert!(
+                    (pred - readings[i]).abs() <= 6.0 * rms + 1e-6,
+                    "sensor {i} sample {s}: pred {pred} vs {}",
+                    readings[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_sensor_model_has_no_fallbacks() {
+        let (x, f) = training();
+        let mut ft = FaultTolerantModel::fit(&x, &f, &[0]).unwrap();
+        assert!(ft.leave_one_out(0).is_none());
+        assert!(ft.cross_predict(0, &[0.9]).unwrap().is_none());
+        assert!(ft.cross_rms(0).is_none());
+        assert!(matches!(
+            ft.predict_excluding(&[0.9], &[0]),
+            Err(CoreError::DegradedBeyondRecovery { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_tolerant_shape_errors() {
+        let (x, f) = training();
+        let mut ft = FaultTolerantModel::fit(&x, &f, &[0, 2]).unwrap();
+        assert!(ft.predict_excluding(&[0.9], &[]).is_err());
+        assert!(ft.predict_excluding(&[0.9, 0.9], &[5]).is_err());
+        assert!(ft.cross_predict(0, &[0.9]).is_err());
+        assert!(ft.cross_predict(9, &[0.9, 0.9]).is_err());
     }
 
     #[test]

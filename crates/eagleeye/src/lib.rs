@@ -227,9 +227,7 @@ impl EagleEyePlacement {
                     a.1.cmp(&b.1)
                         .then_with(|| {
                             // Lower min voltage = worse noise = preferred.
-                            min_voltage[b.0]
-                                .partial_cmp(&min_voltage[a.0])
-                                .expect("voltages are finite")
+                            min_voltage[b.0].total_cmp(&min_voltage[a.0])
                         })
                 })
                 .expect("at least one unused candidate");
@@ -280,6 +278,34 @@ impl EagleEyePlacement {
         self.selected
             .iter()
             .any(|&c| candidate_voltages[c] < alarm)
+    }
+
+    /// Alarm decision from the placed sensors' *own* readings (`Q` values,
+    /// ordered like [`EagleEyePlacement::selected`]): `true` if any reads
+    /// below the alarm level. This is the deployment-side entry point —
+    /// the runtime only ever sees the placed sensors — and the one a
+    /// fault-injection harness corrupts.
+    ///
+    /// Non-finite readings do not alarm: Eagle-Eye has no prediction model
+    /// to reject them with, and `NaN < alarm` is `false` — which is
+    /// exactly why a dead sensor silently costs it coverage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EagleEyeError::ShapeMismatch`] if `readings.len()`
+    /// differs from the placed sensor count.
+    pub fn detect_readings(&self, readings: &[f64]) -> Result<bool, EagleEyeError> {
+        if readings.len() != self.selected.len() {
+            return Err(EagleEyeError::ShapeMismatch {
+                what: format!(
+                    "expected {} sensor readings, got {}",
+                    self.selected.len(),
+                    readings.len()
+                ),
+            });
+        }
+        let alarm = self.config.alarm_level();
+        Ok(readings.iter().any(|&v| v < alarm))
     }
 
     /// Alarm decisions for every column of an `M x N` candidate matrix.
@@ -415,6 +441,32 @@ mod tests {
         let f = Matrix::from_rows(&[&[0.99, 0.95, 0.99]]).unwrap();
         let p = EagleEyePlacement::place(&x, &f, 1, &EagleEyeConfig::default()).unwrap();
         assert_eq!(p.selected(), &[1]);
+    }
+
+    #[test]
+    fn detect_readings_alarms_on_any_placed_sensor_dip() {
+        let (x, f) = training();
+        let p = EagleEyePlacement::place(&x, &f, 2, &EagleEyeConfig::default()).unwrap();
+        assert_eq!(p.selected(), &[0, 2]);
+        assert!(!p.detect_readings(&[0.99, 0.99]).unwrap());
+        assert!(p.detect_readings(&[0.80, 0.99]).unwrap());
+        assert!(p.detect_readings(&[0.99, 0.80]).unwrap());
+        // Wrong length is a typed error, not a panic.
+        assert!(matches!(
+            p.detect_readings(&[0.99]),
+            Err(EagleEyeError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detect_readings_ignores_non_finite_faults() {
+        // Eagle-Eye has no cross-check: a dead (NaN) sensor simply never
+        // alarms, silently losing its coverage.
+        let (x, f) = training();
+        let p = EagleEyePlacement::place(&x, &f, 2, &EagleEyeConfig::default()).unwrap();
+        assert!(!p.detect_readings(&[f64::NAN, 0.99]).unwrap());
+        // The surviving sensor still works.
+        assert!(p.detect_readings(&[f64::NAN, 0.80]).unwrap());
     }
 
     #[test]

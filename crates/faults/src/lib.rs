@@ -1,0 +1,106 @@
+//! Deterministic sensor fault injection for robustness experiments.
+//!
+//! The methodology predicts every function-area voltage from a handful of
+//! blank-area sensors, so a single broken sensor corrupts the *entire*
+//! predicted voltage map and every alarm decision derived from it. Robust
+//! sparse-sensing work treats sensor dropout as a first-class design
+//! concern; this crate supplies the ingredient the experiments need: a
+//! library of physically-motivated sensor fault models and a schedule that
+//! activates them mid-trace, all driven by the workspace's portable
+//! [`GaussianRng`] so every fault scenario replays **bit-identically** from
+//! its seed on every platform.
+//!
+//! # Fault taxonomy
+//!
+//! | model | silicon failure it mimics |
+//! |---|---|
+//! | [`FaultKind::StuckAt`] | latched comparator / DAC code stuck at one value |
+//! | [`FaultKind::OpenNaN`] | open bond / no data (reading is NaN) |
+//! | [`FaultKind::OpenRail`] | open input floating to a supply rail |
+//! | [`FaultKind::OffsetDrift`] | reference drift (aging, temperature ramp) |
+//! | [`FaultKind::GainError`] | mis-calibrated sensing slope |
+//! | [`FaultKind::AdditiveNoise`] | degraded SNR (coupling, supply ripple) |
+//! | [`FaultKind::Quantization`] | reduced effective resolution |
+//!
+//! Each model is a pure transform over one sensor's reading stream; faults
+//! on the same sensor compose in schedule order.
+//!
+//! # Example
+//!
+//! ```
+//! use voltsense_faults::{FaultEvent, FaultKind, FaultSchedule, FaultInjector};
+//!
+//! # fn main() -> Result<(), voltsense_faults::FaultError> {
+//! // Sensor 1 gets stuck at 0.70 V from sample 2 onwards.
+//! let schedule = FaultSchedule::new(vec![FaultEvent::new(
+//!     1,
+//!     2,
+//!     FaultKind::StuckAt { value: 0.70 },
+//! )])?;
+//! let mut injector = FaultInjector::new(schedule, 3, 42)?;
+//! assert_eq!(injector.corrupt(&[0.99, 0.98, 0.97])?, vec![0.99, 0.98, 0.97]);
+//! assert_eq!(injector.corrupt(&[0.99, 0.98, 0.97])?, vec![0.99, 0.98, 0.97]);
+//! assert_eq!(injector.corrupt(&[0.99, 0.98, 0.97])?, vec![0.99, 0.70, 0.97]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod schedule;
+
+pub use model::FaultKind;
+pub use schedule::{FaultEvent, FaultInjector, FaultSchedule};
+pub use voltsense_workload::GaussianRng;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for fault-injection configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// A fault parameter was out of range (NaN, negative sigma, …).
+    InvalidFault {
+        /// Human-readable description.
+        what: String,
+    },
+    /// An event names a sensor index outside the injector's sensor count,
+    /// or a reading vector has the wrong length.
+    ShapeMismatch {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidFault { what } => write!(f, "invalid fault: {what}"),
+            FaultError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
+        }
+    }
+}
+
+impl Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FaultError>();
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let e = FaultError::InvalidFault {
+            what: "sigma must be finite".into(),
+        };
+        assert!(e.to_string().contains("sigma"));
+    }
+}

@@ -1,0 +1,193 @@
+//! The fault models: pure transforms over one sensor's reading stream.
+
+use voltsense_workload::GaussianRng;
+
+use crate::FaultError;
+
+/// One sensor fault model.
+///
+/// A fault transforms the clean reading as a function of how long it has
+/// been active (`age` = samples since onset, starting at 0 on the onset
+/// sample). All models are deterministic given the injector's seeded RNG
+/// stream; see [`crate::FaultInjector`] for the replay guarantees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Output latched at a fixed value regardless of the input.
+    StuckAt {
+        /// The latched reading (V).
+        value: f64,
+    },
+    /// Open circuit with no conversion result: the reading becomes NaN.
+    OpenNaN,
+    /// Open input floating to a supply rail.
+    OpenRail {
+        /// The rail the input floats to (V), e.g. 0.0 or VDD.
+        rail: f64,
+    },
+    /// Linearly growing offset: `reading + rate * (age + 1)` — the first
+    /// faulty sample is already one rate-step off.
+    OffsetDrift {
+        /// Offset growth per sample (V/sample; may be negative).
+        rate_per_sample: f64,
+    },
+    /// Multiplicative slope error: `reading * gain`.
+    GainError {
+        /// The erroneous gain (1.0 = healthy).
+        gain: f64,
+    },
+    /// Additive zero-mean Gaussian noise: `reading + sigma * N(0, 1)`.
+    AdditiveNoise {
+        /// Noise standard deviation (V).
+        sigma: f64,
+    },
+    /// Reduced resolution: the reading snaps to the nearest multiple of
+    /// `step`.
+    Quantization {
+        /// Quantization step (V), strictly positive.
+        step: f64,
+    },
+}
+
+impl FaultKind {
+    /// Validates the model's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidFault`] for non-finite values, a
+    /// negative noise sigma, or a non-positive quantization step.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        let bad = |what: String| Err(FaultError::InvalidFault { what });
+        match *self {
+            FaultKind::StuckAt { value } if !value.is_finite() => {
+                bad(format!("stuck-at value must be finite, got {value}"))
+            }
+            FaultKind::OpenRail { rail } if !rail.is_finite() => {
+                bad(format!("rail must be finite, got {rail}"))
+            }
+            FaultKind::OffsetDrift { rate_per_sample } if !rate_per_sample.is_finite() => {
+                bad(format!("drift rate must be finite, got {rate_per_sample}"))
+            }
+            FaultKind::GainError { gain } if !gain.is_finite() => {
+                bad(format!("gain must be finite, got {gain}"))
+            }
+            FaultKind::AdditiveNoise { sigma } if !(sigma.is_finite() && sigma >= 0.0) => {
+                bad(format!("noise sigma must be finite and >= 0, got {sigma}"))
+            }
+            FaultKind::Quantization { step } if !(step.is_finite() && step > 0.0) => {
+                bad(format!("quantization step must be finite and > 0, got {step}"))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// `true` if applying the model consumes RNG samples. The injector
+    /// draws for *every* active stochastic fault on *every* sample, so the
+    /// stream stays aligned regardless of the readings themselves.
+    pub fn is_stochastic(&self) -> bool {
+        matches!(self, FaultKind::AdditiveNoise { .. })
+    }
+
+    /// Applies the fault to one reading. `age` counts samples since the
+    /// fault's onset (0 on the onset sample).
+    pub fn apply(&self, clean: f64, age: u64, rng: &mut GaussianRng) -> f64 {
+        match *self {
+            FaultKind::StuckAt { value } => value,
+            FaultKind::OpenNaN => f64::NAN,
+            FaultKind::OpenRail { rail } => rail,
+            FaultKind::OffsetDrift { rate_per_sample } => {
+                clean + rate_per_sample * (age as f64 + 1.0)
+            }
+            FaultKind::GainError { gain } => clean * gain,
+            FaultKind::AdditiveNoise { sigma } => clean + sigma * rng.sample(),
+            FaultKind::Quantization { step } => (clean / step).round() * step,
+        }
+    }
+
+    /// Short stable name for reports and JSON keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::StuckAt { .. } => "stuck_at",
+            FaultKind::OpenNaN => "open_nan",
+            FaultKind::OpenRail { .. } => "open_rail",
+            FaultKind::OffsetDrift { .. } => "offset_drift",
+            FaultKind::GainError { .. } => "gain_error",
+            FaultKind::AdditiveNoise { .. } => "additive_noise",
+            FaultKind::Quantization { .. } => "quantization",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> GaussianRng {
+        GaussianRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn stuck_at_ignores_input() {
+        let f = FaultKind::StuckAt { value: 0.7 };
+        assert_eq!(f.apply(0.99, 0, &mut rng()), 0.7);
+        assert_eq!(f.apply(-5.0, 9, &mut rng()), 0.7);
+    }
+
+    #[test]
+    fn open_variants_produce_nan_or_rail() {
+        assert!(FaultKind::OpenNaN.apply(0.9, 0, &mut rng()).is_nan());
+        assert_eq!(FaultKind::OpenRail { rail: 0.0 }.apply(0.9, 3, &mut rng()), 0.0);
+    }
+
+    #[test]
+    fn drift_grows_linearly_with_age() {
+        let f = FaultKind::OffsetDrift {
+            rate_per_sample: -0.001,
+        };
+        let at0 = f.apply(0.9, 0, &mut rng());
+        let at9 = f.apply(0.9, 9, &mut rng());
+        assert!((at0 - 0.899).abs() < 1e-12);
+        assert!((at9 - 0.890).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_scales_and_quantization_snaps() {
+        let g = FaultKind::GainError { gain: 0.5 };
+        assert!((g.apply(0.9, 0, &mut rng()) - 0.45).abs() < 1e-12);
+        let q = FaultKind::Quantization { step: 0.05 };
+        assert!((q.apply(0.93, 0, &mut rng()) - 0.95).abs() < 1e-12);
+        assert!((q.apply(0.92, 0, &mut rng()) - 0.90).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_is_seed_deterministic() {
+        let f = FaultKind::AdditiveNoise { sigma: 0.01 };
+        let a = f.apply(0.9, 0, &mut GaussianRng::seed_from_u64(3));
+        let b = f.apply(0.9, 0, &mut GaussianRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        assert_ne!(a, 0.9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(FaultKind::StuckAt { value: f64::NAN }.validate().is_err());
+        assert!(FaultKind::OpenRail { rail: f64::INFINITY }.validate().is_err());
+        assert!(FaultKind::AdditiveNoise { sigma: -0.1 }.validate().is_err());
+        assert!(FaultKind::Quantization { step: 0.0 }.validate().is_err());
+        assert!(FaultKind::GainError { gain: f64::NAN }.validate().is_err());
+        assert!(FaultKind::OffsetDrift {
+            rate_per_sample: f64::NAN
+        }
+        .validate()
+        .is_err());
+        assert!(FaultKind::StuckAt { value: 0.7 }.validate().is_ok());
+        assert!(FaultKind::OpenNaN.validate().is_ok());
+    }
+
+    #[test]
+    fn only_noise_is_stochastic() {
+        assert!(FaultKind::AdditiveNoise { sigma: 0.1 }.is_stochastic());
+        assert!(!FaultKind::StuckAt { value: 0.7 }.is_stochastic());
+        assert!(!FaultKind::Quantization { step: 0.01 }.is_stochastic());
+    }
+}

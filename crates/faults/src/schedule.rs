@@ -1,0 +1,307 @@
+//! Fault schedules and the streaming injector.
+
+use voltsense_workload::GaussianRng;
+
+use crate::{FaultError, FaultKind};
+
+/// One scheduled fault: a model activating on one sensor at a sample index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Index of the affected sensor within the reading vector.
+    pub sensor: usize,
+    /// Sample index (0-based) on which the fault first applies.
+    pub onset: u64,
+    /// The fault model.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Creates an event.
+    pub fn new(sensor: usize, onset: u64, kind: FaultKind) -> Self {
+        FaultEvent {
+            sensor,
+            onset,
+            kind,
+        }
+    }
+}
+
+/// A validated set of fault events, ordered by onset (ties keep the
+/// caller's order, which is also the per-sensor composition order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Builds a schedule from events, validating every fault model and
+    /// sorting by onset (stable, so same-onset events keep their relative
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidFault`] if any event's model has
+    /// out-of-range parameters.
+    pub fn new(mut events: Vec<FaultEvent>) -> Result<Self, FaultError> {
+        for e in &events {
+            e.kind.validate()?;
+        }
+        events.sort_by_key(|e| e.onset);
+        Ok(FaultSchedule { events })
+    }
+
+    /// A schedule with no faults (the healthy baseline).
+    pub fn healthy() -> Self {
+        FaultSchedule { events: Vec::new() }
+    }
+
+    /// The events, sorted by onset.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Largest sensor index any event touches, or `None` for an empty
+    /// schedule.
+    pub fn max_sensor(&self) -> Option<usize> {
+        self.events.iter().map(|e| e.sensor).max()
+    }
+}
+
+/// Streams a fault schedule over successive reading vectors.
+///
+/// The injector owns a [`GaussianRng`] seeded at construction. On every
+/// sample it draws exactly one Gaussian per *active stochastic* event —
+/// whether or not the draw changes the reading — so the stream of corrupted
+/// readings is a pure function of `(schedule, num_sensors, seed, inputs)`
+/// and replays bit-identically.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    schedule: FaultSchedule,
+    num_sensors: usize,
+    rng: GaussianRng,
+    sample: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector for reading vectors of `num_sensors` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::ShapeMismatch`] if an event names a sensor
+    /// index `>= num_sensors`.
+    pub fn new(
+        schedule: FaultSchedule,
+        num_sensors: usize,
+        seed: u64,
+    ) -> Result<Self, FaultError> {
+        if let Some(max) = schedule.max_sensor() {
+            if max >= num_sensors {
+                return Err(FaultError::ShapeMismatch {
+                    what: format!(
+                        "event targets sensor {max}, but readings have {num_sensors} sensors"
+                    ),
+                });
+            }
+        }
+        Ok(FaultInjector {
+            schedule,
+            num_sensors,
+            rng: GaussianRng::seed_from_u64(seed),
+            sample: 0,
+        })
+    }
+
+    /// Number of samples consumed so far.
+    pub fn samples_injected(&self) -> u64 {
+        self.sample
+    }
+
+    /// The schedule being injected.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// Sensors with at least one active fault at the *next* sample to be
+    /// injected.
+    pub fn active_sensors(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .schedule
+            .events
+            .iter()
+            .filter(|e| e.onset <= self.sample)
+            .map(|e| e.sensor)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Corrupts one sample of readings and advances the sample counter.
+    ///
+    /// Active faults apply in schedule order; multiple faults on the same
+    /// sensor compose (each sees the previous one's output).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::ShapeMismatch`] if `readings.len()` differs
+    /// from the configured sensor count.
+    pub fn corrupt(&mut self, readings: &[f64]) -> Result<Vec<f64>, FaultError> {
+        if readings.len() != self.num_sensors {
+            return Err(FaultError::ShapeMismatch {
+                what: format!(
+                    "expected {} readings, got {}",
+                    self.num_sensors,
+                    readings.len()
+                ),
+            });
+        }
+        let mut out = readings.to_vec();
+        for e in &self.schedule.events {
+            if e.onset > self.sample {
+                // Events are onset-sorted: nothing later is active either.
+                break;
+            }
+            let age = self.sample - e.onset;
+            out[e.sensor] = e.kind.apply(out[e.sensor], age, &mut self.rng);
+        }
+        self.sample += 1;
+        Ok(out)
+    }
+
+    /// Rewinds to sample 0 and re-seeds the RNG, so the injector replays
+    /// the identical corruption stream.
+    pub fn reset(&mut self, seed: u64) {
+        self.rng = GaussianRng::seed_from_u64(seed);
+        self.sample = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_by_onset_stably() {
+        let s = FaultSchedule::new(vec![
+            FaultEvent::new(0, 5, FaultKind::StuckAt { value: 0.7 }),
+            FaultEvent::new(1, 2, FaultKind::OpenNaN),
+            FaultEvent::new(2, 5, FaultKind::GainError { gain: 0.9 }),
+        ])
+        .unwrap();
+        let onsets: Vec<u64> = s.events().iter().map(|e| e.onset).collect();
+        assert_eq!(onsets, vec![2, 5, 5]);
+        // Same-onset events keep caller order: sensor 0 before sensor 2.
+        assert_eq!(s.events()[1].sensor, 0);
+        assert_eq!(s.events()[2].sensor, 2);
+    }
+
+    #[test]
+    fn schedule_rejects_invalid_models() {
+        assert!(FaultSchedule::new(vec![FaultEvent::new(
+            0,
+            0,
+            FaultKind::Quantization { step: -1.0 }
+        )])
+        .is_err());
+    }
+
+    #[test]
+    fn injector_rejects_out_of_range_sensor() {
+        let s = FaultSchedule::new(vec![FaultEvent::new(
+            5,
+            0,
+            FaultKind::OpenNaN,
+        )])
+        .unwrap();
+        assert!(FaultInjector::new(s, 3, 0).is_err());
+    }
+
+    #[test]
+    fn injector_rejects_wrong_reading_count() {
+        let mut inj = FaultInjector::new(FaultSchedule::healthy(), 3, 0).unwrap();
+        assert!(inj.corrupt(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn faults_activate_exactly_at_onset() {
+        let s = FaultSchedule::new(vec![FaultEvent::new(
+            0,
+            2,
+            FaultKind::StuckAt { value: 0.5 },
+        )])
+        .unwrap();
+        let mut inj = FaultInjector::new(s, 1, 9).unwrap();
+        assert_eq!(inj.corrupt(&[0.9]).unwrap(), vec![0.9]);
+        assert_eq!(inj.corrupt(&[0.9]).unwrap(), vec![0.9]);
+        assert_eq!(inj.corrupt(&[0.9]).unwrap(), vec![0.5]);
+        assert_eq!(inj.corrupt(&[0.9]).unwrap(), vec![0.5]);
+        assert_eq!(inj.samples_injected(), 4);
+    }
+
+    #[test]
+    fn same_sensor_faults_compose_in_schedule_order() {
+        // Gain then offset drift: (0.8 * 0.5) + 0.1 = 0.5, not (0.8 + 0.1) * 0.5.
+        let s = FaultSchedule::new(vec![
+            FaultEvent::new(0, 0, FaultKind::GainError { gain: 0.5 }),
+            FaultEvent::new(0, 0, FaultKind::OffsetDrift { rate_per_sample: 0.1 }),
+        ])
+        .unwrap();
+        let mut inj = FaultInjector::new(s, 1, 0).unwrap();
+        let out = inj.corrupt(&[0.8]).unwrap();
+        assert!((out[0] - 0.5).abs() < 1e-12, "got {}", out[0]);
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let s = FaultSchedule::new(vec![
+            FaultEvent::new(0, 1, FaultKind::AdditiveNoise { sigma: 0.02 }),
+            FaultEvent::new(1, 3, FaultKind::AdditiveNoise { sigma: 0.05 }),
+        ])
+        .unwrap();
+        let run = |seed: u64| {
+            let mut inj = FaultInjector::new(s.clone(), 2, seed).unwrap();
+            (0..10)
+                .flat_map(|i| {
+                    inj.corrupt(&[0.9 + 0.001 * i as f64, 0.95]).unwrap()
+                })
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn reset_replays_the_same_stream() {
+        let s = FaultSchedule::new(vec![FaultEvent::new(
+            0,
+            0,
+            FaultKind::AdditiveNoise { sigma: 0.1 },
+        )])
+        .unwrap();
+        let mut inj = FaultInjector::new(s, 1, 3).unwrap();
+        let a: Vec<f64> = (0..5).flat_map(|_| inj.corrupt(&[0.9]).unwrap()).collect();
+        inj.reset(3);
+        let b: Vec<f64> = (0..5).flat_map(|_| inj.corrupt(&[0.9]).unwrap()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn active_sensors_track_the_sample_counter() {
+        let s = FaultSchedule::new(vec![
+            FaultEvent::new(2, 0, FaultKind::OpenNaN),
+            FaultEvent::new(0, 2, FaultKind::StuckAt { value: 0.7 }),
+        ])
+        .unwrap();
+        let mut inj = FaultInjector::new(s, 3, 0).unwrap();
+        assert_eq!(inj.active_sensors(), vec![2]);
+        inj.corrupt(&[1.0, 1.0, 1.0]).unwrap();
+        inj.corrupt(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(inj.active_sensors(), vec![0, 2]);
+    }
+
+    #[test]
+    fn healthy_schedule_is_identity() {
+        let mut inj = FaultInjector::new(FaultSchedule::healthy(), 2, 0).unwrap();
+        assert_eq!(inj.corrupt(&[0.1, 0.2]).unwrap(), vec![0.1, 0.2]);
+    }
+}

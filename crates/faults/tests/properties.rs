@@ -1,0 +1,189 @@
+//! Property suites for the fault models and the streaming injector.
+
+use voltsense_faults::{FaultEvent, FaultInjector, FaultKind, FaultSchedule};
+use voltsense_testkit::{choice, f64_range, forall, u64_range, usize_range};
+
+/// Every named fault kind, parameterised from one scalar so `choice` can
+/// shrink across kinds while `forall` shrinks the scalar.
+fn kind_from(tag: &str, p: f64) -> FaultKind {
+    match tag {
+        "stuck_at" => FaultKind::StuckAt { value: p },
+        "open_nan" => FaultKind::OpenNaN,
+        "open_rail" => FaultKind::OpenRail { rail: p.abs() },
+        "offset_drift" => FaultKind::OffsetDrift {
+            rate_per_sample: p * 0.01,
+        },
+        "gain_error" => FaultKind::GainError { gain: 0.5 + p.abs() },
+        "additive_noise" => FaultKind::AdditiveNoise { sigma: p.abs() },
+        "quantization" => FaultKind::Quantization {
+            step: 0.001 + p.abs(),
+        },
+        other => panic!("unknown fault tag {other}"),
+    }
+}
+
+const ALL_TAGS: [&str; 7] = [
+    "stuck_at",
+    "open_nan",
+    "open_rail",
+    "offset_drift",
+    "gain_error",
+    "additive_noise",
+    "quantization",
+];
+
+#[test]
+fn every_fault_model_is_seed_deterministic() {
+    forall!(cases = 96, (
+        tag in choice(ALL_TAGS.to_vec()),
+        p in f64_range(-1.0, 1.0),
+        seed in u64_range(0, 1 << 32),
+        onset in u64_range(0, 8),
+    ) => {
+        let kind = kind_from(tag, p);
+        let schedule = FaultSchedule::new(vec![FaultEvent::new(0, onset, kind)])
+            .expect("parameterisation keeps every kind valid");
+        let run = || {
+            let mut inj = FaultInjector::new(schedule.clone(), 1, seed)
+                .expect("sensor 0 is in range");
+            (0..16)
+                .map(|i| inj.corrupt(&[0.9 + 0.001 * i as f64]).expect("length matches")[0])
+                .collect::<Vec<f64>>()
+        };
+        let a = run();
+        let b = run();
+        // Bit-identical replay, NaN-aware (open_nan produces NaNs).
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "replay diverged: {x} vs {y}");
+        }
+    });
+}
+
+#[test]
+fn deterministic_fault_magnitudes_are_bounded() {
+    // For every non-stochastic, finite-output model the corruption magnitude
+    // admits a closed-form bound; check outputs never exceed it.
+    forall!(cases = 96, (
+        tag in choice(vec!["stuck_at", "open_rail", "offset_drift", "gain_error", "quantization"]),
+        p in f64_range(-1.0, 1.0),
+        seed in u64_range(0, 1 << 32),
+        clean in f64_range(0.5, 1.2),
+    ) => {
+        let kind = kind_from(tag, p);
+        let horizon: u64 = 32;
+        let bound = match kind {
+            FaultKind::StuckAt { value } => (clean - value).abs(),
+            FaultKind::OpenRail { rail } => (clean - rail).abs(),
+            FaultKind::OffsetDrift { rate_per_sample } => {
+                rate_per_sample.abs() * horizon as f64
+            }
+            FaultKind::GainError { gain } => (clean * (gain - 1.0)).abs(),
+            FaultKind::Quantization { step } => step / 2.0,
+            _ => unreachable!("only deterministic kinds are generated"),
+        };
+        let schedule = FaultSchedule::new(vec![FaultEvent::new(0, 0, kind)]).unwrap();
+        let mut inj = FaultInjector::new(schedule, 1, seed).unwrap();
+        for _ in 0..horizon {
+            let out = inj.corrupt(&[clean]).unwrap()[0];
+            let err = (out - clean).abs();
+            assert!(
+                err <= bound + 1e-12,
+                "{tag}: corruption {err} exceeds bound {bound}"
+            );
+        }
+    });
+}
+
+#[test]
+fn faults_are_inactive_before_onset_and_active_after() {
+    forall!(cases = 96, (
+        tag in choice(ALL_TAGS.to_vec()),
+        p in f64_range(0.1, 1.0),
+        onset in u64_range(0, 20),
+        seed in u64_range(0, 1 << 32),
+        sensor in usize_range(0, 4),
+    ) => {
+        let kind = kind_from(tag, p);
+        let schedule = FaultSchedule::new(vec![FaultEvent::new(sensor, onset, kind)]).unwrap();
+        let mut inj = FaultInjector::new(schedule, 4, seed).unwrap();
+        let clean = [0.91, 0.93, 0.95, 0.97];
+        for t in 0..(onset + 8) {
+            let out = inj.corrupt(&clean).unwrap();
+            for (j, (&o, &c)) in out.iter().zip(&clean).enumerate() {
+                if j != sensor || t < onset {
+                    // Untouched sensors, and the target before onset, pass
+                    // through bit-exactly.
+                    assert_eq!(o.to_bits(), c.to_bits(), "sensor {j} changed at t={t}");
+                }
+            }
+        }
+        // The fault was genuinely active from its onset: with the same seed,
+        // the target sensor's stream disagrees with the clean value at onset
+        // for every kind whose parameterisation here guarantees a change.
+        inj.reset(seed);
+        for _ in 0..onset {
+            inj.corrupt(&clean).unwrap();
+        }
+        let at_onset = inj.corrupt(&clean).unwrap()[sensor];
+        let changes = match kind {
+            // gain 0.5+|p| can be ≈1.0 and quantization can snap to itself;
+            // those legitimately may leave the reading unchanged.
+            FaultKind::GainError { .. } | FaultKind::Quantization { .. } => false,
+            FaultKind::AdditiveNoise { sigma } => sigma > 1e-6,
+            _ => true,
+        };
+        if changes {
+            assert!(
+                at_onset.is_nan() || at_onset.to_bits() != clean[sensor].to_bits(),
+                "{tag}: no effect at onset (got {at_onset})"
+            );
+        }
+    });
+}
+
+#[test]
+fn schedule_events_are_onset_sorted() {
+    forall!(cases = 64, (
+        o1 in u64_range(0, 100),
+        o2 in u64_range(0, 100),
+        o3 in u64_range(0, 100),
+    ) => {
+        let schedule = FaultSchedule::new(vec![
+            FaultEvent::new(0, o1, FaultKind::OpenNaN),
+            FaultEvent::new(1, o2, FaultKind::StuckAt { value: 0.7 }),
+            FaultEvent::new(2, o3, FaultKind::GainError { gain: 0.9 }),
+        ])
+        .unwrap();
+        let onsets: Vec<u64> = schedule.events().iter().map(|e| e.onset).collect();
+        let mut sorted = onsets.clone();
+        sorted.sort_unstable();
+        assert_eq!(onsets, sorted);
+    });
+}
+
+#[test]
+fn multi_sensor_schedules_replay_bit_identically() {
+    forall!(cases = 48, (
+        seed in u64_range(0, 1 << 32),
+        sigma in f64_range(0.001, 0.1),
+        onset_a in u64_range(0, 10),
+        onset_b in u64_range(0, 10),
+    ) => {
+        let schedule = FaultSchedule::new(vec![
+            FaultEvent::new(0, onset_a, FaultKind::AdditiveNoise { sigma }),
+            FaultEvent::new(2, onset_b, FaultKind::AdditiveNoise { sigma: sigma * 2.0 }),
+            FaultEvent::new(1, onset_b, FaultKind::OffsetDrift { rate_per_sample: -0.002 }),
+        ])
+        .unwrap();
+        let run = || {
+            let mut inj = FaultInjector::new(schedule.clone(), 3, seed).unwrap();
+            (0..24)
+                .flat_map(|i| {
+                    inj.corrupt(&[0.95, 0.9 + 0.001 * i as f64, 0.98]).unwrap()
+                })
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(run(), run());
+    });
+}

@@ -102,7 +102,7 @@ pub fn cross_validate(
 
     // Evaluate penalties from largest to smallest per fold (warm starts).
     let mut order: Vec<usize> = (0..mus.len()).collect();
-    order.sort_by(|&a, &b| mus[b].partial_cmp(&mus[a]).expect("finite mus"));
+    order.sort_by(|&a, &b| mus[b].total_cmp(&mus[a]));
 
     let mut fold_errors = vec![vec![0.0f64; folds]; mus.len()];
     for fold in 0..folds {
@@ -139,14 +139,14 @@ pub fn cross_validate(
     let best_index = mean_errors
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite errors"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .expect("non-empty mus");
     // 1-SE rule: largest penalty within one SE of the best mean error.
     let limit = mean_errors[best_index] + std_errors[best_index];
     let one_se_index = (0..mus.len())
         .filter(|&i| mean_errors[i] <= limit)
-        .max_by(|&a, &b| mus[a].partial_cmp(&mus[b]).expect("finite mus"))
+        .max_by(|&a, &b| mus[a].total_cmp(&mus[b]))
         .unwrap_or(best_index);
 
     Ok(CvResult {

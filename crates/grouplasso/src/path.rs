@@ -79,7 +79,7 @@ pub fn penalty_path(
 
     // Process from largest to smallest penalty (sparsest first).
     let mut order: Vec<usize> = (0..mus.len()).collect();
-    order.sort_by(|&a, &b| mus[b].partial_cmp(&mus[a]).expect("finite mus"));
+    order.sort_by(|&a, &b| mus[b].total_cmp(&mus[a]));
 
     let mut results: Vec<Option<PathPoint>> = vec![None; mus.len()];
     let mut warm = None;

@@ -107,7 +107,7 @@ impl SampledMaps {
                     .min_by(|&&a, &&b| {
                         let min_a = min_of(self.maps.row(a.0));
                         let min_b = min_of(self.maps.row(b.0));
-                        min_a.partial_cmp(&min_b).expect("voltages are finite")
+                        min_a.total_cmp(&min_b)
                     })
                     .expect("every block has lattice nodes")
             })

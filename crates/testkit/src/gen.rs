@@ -299,6 +299,40 @@ impl Gen for MatrixGen {
     }
 }
 
+/// Uniform pick from a fixed list of alternatives.
+#[derive(Debug, Clone)]
+pub struct Choice<T> {
+    options: Vec<T>,
+}
+
+/// Uniform pick from `options`, shrinking toward earlier entries — order the
+/// list simplest-first.
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn choice<T: Clone + fmt::Debug>(options: Vec<T>) -> Choice<T> {
+    assert!(!options.is_empty(), "choice needs at least one option");
+    Choice { options }
+}
+
+impl<T: Clone + fmt::Debug + PartialEq> Gen for Choice<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut GaussianRng) -> T {
+        self.options[rng.uniform_index(self.options.len())].clone()
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        // Everything strictly before the failing value, simplest first.
+        let pos = self.options.iter().position(|o| o == value);
+        match pos {
+            Some(p) => self.options[..p].to_vec(),
+            None => Vec::new(),
+        }
+    }
+}
+
 /// Well-conditioned SPD matrix `A = B Bᵀ + (n + 1)·I`.
 #[derive(Debug, Clone, Copy)]
 pub struct SpdGen {
@@ -447,6 +481,17 @@ mod tests {
         for c in g.shrink(&a) {
             assert!(Cholesky::new(&c).is_ok(), "shrunk matrix must stay SPD");
         }
+    }
+
+    #[test]
+    fn choice_picks_from_options_and_shrinks_toward_front() {
+        let g = choice(vec!["a", "b", "c"]);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(["a", "b", "c"].contains(&g.generate(&mut r)));
+        }
+        assert_eq!(g.shrink(&"c"), vec!["a", "b"]);
+        assert!(g.shrink(&"a").is_empty());
     }
 
     #[test]

@@ -63,3 +63,6 @@ pub use voltsense_eagleeye as eagleeye;
 
 /// The DAC'15 methodology ([`voltsense_core`]).
 pub use voltsense_core as core;
+
+/// Deterministic sensor fault injection ([`voltsense_faults`]).
+pub use voltsense_faults as faults;

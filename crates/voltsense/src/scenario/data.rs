@@ -120,9 +120,7 @@ impl ScenarioData {
         for b in blocks {
             let mut nodes: Vec<NodeId> = lattice.nodes_in_block(b.id()).to_vec();
             nodes.sort_by(|a, b| {
-                node_min[a.0]
-                    .partial_cmp(&node_min[b.0])
-                    .expect("voltages are finite")
+                node_min[a.0].total_cmp(&node_min[b.0])
             });
             // Worst-first; a block with fewer nodes than requested
             // representatives contributes what it has.

@@ -1,7 +1,10 @@
 //! Cross-crate consistency checks: independent implementations must agree
 //! on real (simulated) data, not just on toy matrices.
 
-use voltsense::core::{SensorSelector, VoltageMapModel};
+use voltsense::core::{
+    EmergencyMonitor, FaultPolicy, FaultTolerantModel, SensorSelector, VoltageMapModel,
+};
+use voltsense::faults::{FaultEvent, FaultInjector, FaultKind, FaultSchedule};
 use voltsense::grouplasso::{
     kkt_violation, solve_penalized, solve_penalized_fista, GlOptions, GlProblem,
 };
@@ -148,6 +151,76 @@ fn selection_is_stable_across_solver_tolerances() {
     );
     let diff = (loose.selected.len() as i64 - tight.selected.len() as i64).abs();
     assert!(diff <= 2, "selected counts diverged by {diff}");
+}
+
+#[test]
+fn injected_fault_is_survived_on_simulated_voltages() {
+    // Wire the fault injector (voltsense-faults) into the fault-tolerant
+    // monitor (voltsense-core) on real simulated data: a sensor dropping
+    // to NaN mid-trace must be failed and predicted around, and the whole
+    // run must replay bit-identically from the seed.
+    let (x, f) = scenario_data();
+    let m = x.rows();
+    let sensors = vec![0, m / 3, 2 * m / 3, m - 1];
+    let q = sensors.len();
+    let ft = FaultTolerantModel::fit(&x, &f, &sensors).unwrap();
+
+    let onset = 5u64;
+    let schedule =
+        FaultSchedule::new(vec![FaultEvent::new(1, onset, FaultKind::OpenNaN)]).unwrap();
+    let run = |mut monitor: EmergencyMonitor| -> Vec<f64> {
+        let mut injector = FaultInjector::new(schedule.clone(), q, 2024).unwrap();
+        (0..30)
+            .map(|s| {
+                let readings: Vec<f64> = sensors.iter().map(|&r| x[(r, s)]).collect();
+                let corrupted = injector.corrupt(&readings).unwrap();
+                monitor.observe(&corrupted).unwrap().predicted_min
+            })
+            .collect()
+    };
+
+    let monitor =
+        EmergencyMonitor::fault_tolerant(ft.clone(), 0.85, 1, 0.0, FaultPolicy::default())
+            .unwrap();
+    let mut probe = monitor.clone();
+    let trace = run(probe.clone());
+    // Every sample produced a finite prediction despite the dead sensor.
+    assert!(trace.iter().all(|v| v.is_finite()));
+
+    // The dead sensor is permanently failed within the persistence window.
+    let mut injector = FaultInjector::new(schedule.clone(), q, 2024).unwrap();
+    for s in 0..30 {
+        let readings: Vec<f64> = sensors.iter().map(|&r| x[(r, s)]).collect();
+        probe.observe(&injector.corrupt(&readings).unwrap()).unwrap();
+    }
+    let persistence = FaultPolicy::default().health_persistence as u64;
+    assert_eq!(probe.failed_sensors(), vec![1]);
+    assert_eq!(probe.stats().sensors_failed, 1);
+    // Gated on every pre-promotion strike; once failed it is excluded
+    // outright rather than gated.
+    assert_eq!(probe.stats().gated_readings, persistence - 1);
+
+    // After failure, predictions equal the leave-sensor-1-out model fed
+    // with the surviving readings — the hot-swap is exact.
+    let survivors: Vec<usize> = sensors
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != 1)
+        .map(|(_, &r)| r)
+        .collect();
+    let fallback = VoltageMapModel::fit(&x, &f, &survivors).unwrap();
+    let s = 29usize;
+    let surviving: Vec<f64> = survivors.iter().map(|&r| x[(r, s)]).collect();
+    let expected = fallback.predict_from_sensors(&surviving).unwrap();
+    let expected_min = expected.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!((trace[s] - expected_min).abs() < 1e-12);
+
+    // Same seed, same monitor => bit-identical replay.
+    let replay = run(monitor);
+    assert_eq!(trace.len(), replay.len());
+    for (a, b) in trace.iter().zip(&replay) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
 }
 
 #[test]
