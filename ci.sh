@@ -22,6 +22,13 @@ echo "==> fault-tolerance sweep smoke (small scale, fast bench config)"
 VOLTSENSE_SCALE=small TESTKIT_BENCH_FAST=1 \
     cargo run --release --offline -p voltsense-bench --bin fault_tolerance_sweep
 
+echo "==> telemetry smoke (instrumented example + export validation)"
+telemetry_prefix="$(mktemp -d)/telemetry_smoke"
+VOLTSENSE_TELEMETRY="$telemetry_prefix" \
+    cargo run --release --offline -p voltsense --example emergency_monitor
+cargo run --release --offline -p voltsense-bench --bin validate_telemetry \
+    "$telemetry_prefix.json" "$telemetry_prefix.trace.json"
+
 echo "==> dependency policy: no external crates in any manifest"
 if grep -rEn 'rand|proptest|criterion' Cargo.toml crates/*/Cargo.toml; then
     echo "ERROR: external dependency reference found in a manifest" >&2

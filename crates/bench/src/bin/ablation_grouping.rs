@@ -17,6 +17,7 @@ use voltsense::linalg::stats::Normalizer;
 use voltsense_bench::{rule, Experiment};
 
 fn main() {
+    let _telemetry = voltsense::telemetry::init_from_env("ablation_grouping");
     let exp = Experiment::from_env();
     let config = MethodologyConfig::default();
 

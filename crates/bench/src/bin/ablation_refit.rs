@@ -13,6 +13,7 @@ use voltsense::linalg::Matrix;
 use voltsense_bench::{rule, Experiment};
 
 fn main() {
+    let _telemetry = voltsense::telemetry::init_from_env("ablation_refit");
     let exp = Experiment::from_env();
     // Build the covariance form once; reuse it for every budget.
     let prepared = SelectionProblem::new(&exp.train.x, &exp.train.f).expect("prepared problem");

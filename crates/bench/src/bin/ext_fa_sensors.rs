@@ -14,6 +14,7 @@ use voltsense::scenario::{CollectOptions, SensorSites};
 use voltsense_bench::{fmt_rate, rule, Experiment, Scale};
 
 fn main() {
+    let _telemetry = voltsense::telemetry::init_from_env("ext_fa_sensors");
     let exp = Experiment::from_env();
 
     // Re-collect with FA candidates allowed (the voltage maps are

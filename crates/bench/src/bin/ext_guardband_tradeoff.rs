@@ -16,6 +16,7 @@ use voltsense::scenario::PerCoreModel;
 use voltsense_bench::{fmt_rate, rule, Experiment};
 
 fn main() {
+    let _telemetry = voltsense::telemetry::init_from_env("ext_guardband_tradeoff");
     let exp = Experiment::from_env();
     let config = MethodologyConfig::default();
     let threshold = config.emergency_threshold;

@@ -15,6 +15,7 @@ use voltsense::linalg::stats::Normalizer;
 use voltsense_bench::{rule, sparkline, Experiment};
 
 fn main() {
+    let _telemetry = voltsense::telemetry::init_from_env("ext_lambda_cv");
     let exp = Experiment::from_env();
 
     // CV works on the normalized training data; restrict to one core's

@@ -14,6 +14,7 @@ use voltsense::scenario::{CollectOptions, Scenario};
 use voltsense_bench::{fmt_rate, rule, Scale, NUM_BENCHMARKS};
 
 fn main() {
+    let _telemetry = voltsense::telemetry::init_from_env("ext_multi_nodes");
     let scenario = match Scale::from_env() {
         Scale::Paper => Scenario::paper_scale(),
         Scale::Small => Scenario::small(),

@@ -110,6 +110,7 @@ fn monitor_alarms(monitor: &mut EmergencyMonitor, trace: &[Vec<f64>]) -> Vec<boo
 }
 
 fn main() {
+    let _telemetry = voltsense::telemetry::init_from_env("fault_tolerance_sweep");
     let scale = Scale::from_env();
     let exp = Experiment::from_env();
     let config = MethodologyConfig::default();

@@ -12,6 +12,7 @@ use voltsense::floorplan::CoreId;
 use voltsense_bench::{rule, Experiment};
 
 fn main() {
+    let _telemetry = voltsense::telemetry::init_from_env("fig1_beta_norms");
     let exp = Experiment::from_env();
 
     // One core's candidates and blocks, as in the paper's figure.

@@ -11,6 +11,7 @@ use voltsense::scenario::PerCoreModel;
 use voltsense_bench::{rule, sparkline, Experiment};
 
 fn main() {
+    let _telemetry = voltsense::telemetry::init_from_env("fig2_voltage_trace");
     let exp = Experiment::from_env();
     let config = MethodologyConfig::default();
 

@@ -16,6 +16,7 @@ use voltsense::floorplan::{CoreId, NodeSite, UnitGroup};
 use voltsense_bench::Experiment;
 
 fn main() {
+    let _telemetry = voltsense::telemetry::init_from_env("fig3_placement_map");
     let exp = Experiment::from_env();
     let core = CoreId(0);
     let cand_rows = exp.partition.candidates_of(core);

@@ -16,6 +16,7 @@ use voltsense::scenario::PerCoreModel;
 use voltsense_bench::{rule, Experiment};
 
 fn main() {
+    let _telemetry = voltsense::telemetry::init_from_env("table1_lambda_sweep");
     let exp = Experiment::from_env();
     let lambdas = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0];
 

@@ -12,6 +12,7 @@ use voltsense::scenario::PerCoreModel;
 use voltsense_bench::{fmt_rate, rule, Experiment, NUM_BENCHMARKS};
 
 fn main() {
+    let _telemetry = voltsense::telemetry::init_from_env("table2_error_rates");
     let exp = Experiment::from_env();
     let config = MethodologyConfig::default();
     let threshold = config.emergency_threshold;

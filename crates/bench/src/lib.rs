@@ -23,10 +23,11 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads `VOLTSENSE_SCALE` (default `paper`).
+    /// Reads `VOLTSENSE_SCALE` (default `paper`), via the shared env
+    /// helper so spelling rules match every other knob.
     pub fn from_env() -> Scale {
-        match std::env::var("VOLTSENSE_SCALE").as_deref() {
-            Ok("small") => Scale::Small,
+        match voltsense::telemetry::env::value("VOLTSENSE_SCALE").as_deref() {
+            Some(v) if v.eq_ignore_ascii_case("small") => Scale::Small,
             _ => Scale::Paper,
         }
     }
@@ -92,27 +93,11 @@ impl Experiment {
 }
 
 /// The workspace `results/` directory: `TESTKIT_RESULTS_DIR` if set, else
-/// found by walking up from this crate's manifest (falling back to the
-/// current directory). Mirrors the testkit bench harness so binaries and
-/// benches drop reports in the same place.
+/// found by walking up to the workspace root. Delegates to the shared
+/// telemetry env helper so binaries, benches, and telemetry exports all
+/// drop artifacts in the same place.
 pub fn results_dir() -> std::path::PathBuf {
-    use std::path::PathBuf;
-    if let Ok(dir) = std::env::var("TESTKIT_RESULTS_DIR") {
-        return PathBuf::from(dir);
-    }
-    let start = std::env::var("CARGO_MANIFEST_DIR")
-        .map(PathBuf::from)
-        .or_else(|_| std::env::current_dir())
-        .unwrap_or_else(|_| PathBuf::from("."));
-    let mut dir = start.clone();
-    loop {
-        if dir.join("results").is_dir() {
-            return dir.join("results");
-        }
-        if !dir.pop() {
-            return start.join("results");
-        }
-    }
+    voltsense::telemetry::env::results_dir()
 }
 
 /// Prints a horizontal rule sized to a table width.

@@ -30,6 +30,8 @@
 //!   hot-swapped in; once more than `max_failed_sensors` are lost,
 //!   [`CoreError::DegradedBeyondRecovery`] is returned.
 
+use voltsense_telemetry as telemetry;
+
 use crate::predict::{FaultTolerantModel, VoltageMapModel};
 use crate::CoreError;
 
@@ -387,6 +389,9 @@ impl EmergencyMonitor {
             });
             if any_violation {
                 culprit = family.attribute(&residuals);
+                if culprit.is_some() {
+                    telemetry::counter("monitor.fault_attributions", 1);
+                }
             }
         }
 
@@ -408,6 +413,17 @@ impl EmergencyMonitor {
                 newly_failed += 1;
             }
         }
+        if telemetry::enabled() {
+            let striking = state.strikes.iter().filter(|&&s| s > 0).count();
+            if striking > 0 {
+                telemetry::counter("monitor.health_strikes", striking as u64);
+            }
+            if newly_failed > 0 {
+                // Promoting a sensor to failed is what triggers the hot
+                // swap onto a leave-it-out fallback model.
+                telemetry::counter("monitor.fallback_swaps", newly_failed);
+            }
+        }
 
         // 4. Degradation budget, then predict with the surviving sensors.
         let failed: Vec<usize> = (0..q).filter(|&i| state.failed[i]).collect();
@@ -416,6 +432,7 @@ impl EmergencyMonitor {
         let unusable = failed.len() + gated.len();
         if failed.len() > allowed || unusable >= q {
             self.stats.sensors_failed += newly_failed;
+            telemetry::counter("monitor.degraded_beyond_recovery", 1);
             return Err(CoreError::DegradedBeyondRecovery {
                 failed: unusable,
                 allowed,
@@ -429,6 +446,10 @@ impl EmergencyMonitor {
         let health = SensorHealth { failed, gated };
         self.stats.gated_readings += health.gated.len() as u64;
         self.stats.sensors_failed += newly_failed;
+        if !health.gated.is_empty() {
+            telemetry::counter("monitor.gated_readings", health.gated.len() as u64);
+        }
+        telemetry::gauge("monitor.failed_sensors", health.failed.len() as f64);
         Ok(self.resolve_alarm(predicted_min, worst_block, Some(health)))
     }
 
@@ -462,6 +483,10 @@ impl EmergencyMonitor {
         }
         if rising_edge {
             self.stats.alarm_events += 1;
+            // Latency from the first sub-threshold sample to assertion:
+            // exactly the debounce depth consumed by this alarm.
+            telemetry::counter("monitor.alarm_events", 1);
+            telemetry::histogram("monitor.alarm_latency_steps", self.consecutive as f64, "steps");
         }
         MonitorDecision {
             predicted_min,

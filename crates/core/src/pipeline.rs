@@ -1,5 +1,6 @@
 use voltsense_grouplasso::GlOptions;
 use voltsense_linalg::Matrix;
+use voltsense_telemetry as telemetry;
 
 use crate::detection::{self, DetectionOutcome};
 use crate::metrics;
@@ -60,6 +61,7 @@ impl Methodology {
                 ),
             });
         }
+        let _span = telemetry::span("methodology.fit");
         // Steps 1–5: normalize + group lasso + threshold.
         let selector = SensorSelector::with_options(
             config.lambda,
@@ -67,6 +69,7 @@ impl Methodology {
             config.gl_options.clone(),
         )?;
         let selection = selector.select(x, f)?;
+        telemetry::gauge("methodology.sensors", selection.selected.len() as f64);
         // Steps 6–8: OLS refit on the selected sensors, in volts.
         let model = VoltageMapModel::fit(x, f, &selection.selected)?;
         Ok(FittedMethodology {
@@ -103,10 +106,12 @@ impl Methodology {
                 ),
             });
         }
+        let _span = telemetry::span("methodology.fit_with_sensor_count");
         // Build the (expensive) covariance form once and bisect the
         // penalty directly for the target count.
         let prepared = crate::selection::SelectionProblem::new(x, f)?;
         let selection = prepared.select_with_count(q, config.threshold, &config.gl_options)?;
+        telemetry::gauge("methodology.sensors", selection.selected.len() as f64);
         let model = VoltageMapModel::fit(x, f, &selection.selected)?;
         Ok(FittedMethodology {
             selection,

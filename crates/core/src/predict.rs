@@ -2,6 +2,7 @@ use std::collections::BTreeMap;
 
 use voltsense_linalg::lstsq::{self, LinearFit};
 use voltsense_linalg::{vec_ops, Matrix};
+use voltsense_telemetry as telemetry;
 
 use crate::selection::SelectionResult;
 use crate::CoreError;
@@ -52,6 +53,8 @@ impl VoltageMapModel {
                 what: format!("sensor index {bad} out of range for {} candidates", x.rows()),
             });
         }
+        let _span = telemetry::span("core.ols_refit");
+        telemetry::counter("core.ols_refits", 1);
         let x_sel = x.select_rows(sensors);
         let fit = lstsq::ols_with_intercept(&x_sel, f)?;
         Ok(VoltageMapModel {
@@ -366,6 +369,7 @@ impl FaultTolerantModel {
     /// uses the same training matrices, so it can only add least-squares
     /// failures on degenerate data.
     pub fn fit(x: &Matrix, f: &Matrix, sensors: &[usize]) -> Result<Self, CoreError> {
+        let _span = telemetry::span("core.fault_tolerant_fit");
         let primary = VoltageMapModel::fit(x, f, sensors)?;
         let x_sel = x.select_rows(sensors);
         let q = sensors.len();
@@ -378,6 +382,7 @@ impl FaultTolerantModel {
                 let x_others = x_sel.select_rows(&others);
                 fallbacks.push(lstsq::ols_with_intercept(&x_others, f)?);
             }
+            telemetry::counter("core.fallback_fits", q as u64);
             let all: Vec<usize> = (0..q).collect();
             cross_families.insert(Vec::new(), CrossFamily::fit(&x_sel, &all)?);
         }
@@ -469,6 +474,7 @@ impl FaultTolerantModel {
             return Ok(None);
         }
         if !self.cross_families.contains_key(&key) {
+            telemetry::counter("core.cross_family_fits", 1);
             let survivors: Vec<usize> = (0..q).filter(|i| !key.contains(i)).collect();
             let family = CrossFamily::fit(&self.x_sel, &survivors)?;
             self.cross_families.insert(key.clone(), family);
@@ -529,6 +535,7 @@ impl FaultTolerantModel {
             return Ok(self.fallbacks[key[0]].predict(&surviving_readings)?);
         }
         if !self.multi_cache.contains_key(&key) {
+            telemetry::counter("core.multi_exclusion_refits", 1);
             let x_surv = self.x_sel.select_rows(&survivors);
             let fit = lstsq::ols_with_intercept(&x_surv, &self.f_train)?;
             self.multi_cache.insert(key.clone(), fit);

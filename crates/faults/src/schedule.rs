@@ -1,5 +1,6 @@
 //! Fault schedules and the streaming injector.
 
+use voltsense_telemetry as telemetry;
 use voltsense_workload::GaussianRng;
 
 use crate::{FaultError, FaultKind};
@@ -156,6 +157,7 @@ impl FaultInjector {
             });
         }
         let mut out = readings.to_vec();
+        let mut applied = 0u64;
         for e in &self.schedule.events {
             if e.onset > self.sample {
                 // Events are onset-sorted: nothing later is active either.
@@ -163,6 +165,10 @@ impl FaultInjector {
             }
             let age = self.sample - e.onset;
             out[e.sensor] = e.kind.apply(out[e.sensor], age, &mut self.rng);
+            applied += 1;
+        }
+        if applied > 0 {
+            telemetry::counter("faults.injected_readings", applied);
         }
         self.sample += 1;
         Ok(out)

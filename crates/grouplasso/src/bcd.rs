@@ -1,6 +1,7 @@
 //! Block coordinate descent for the penalized multi-task group lasso.
 
 use voltsense_linalg::Matrix;
+use voltsense_telemetry as telemetry;
 
 use crate::problem::{column_norm, GlProblem};
 use crate::GroupLassoError;
@@ -211,6 +212,23 @@ pub fn solve_penalized(
                 }
             }
         }
+        // Convergence telemetry: the KKT residual falls out of the sweep for
+        // free, but the objective costs a matmul — only pay it when a
+        // recorder is listening.
+        if telemetry::enabled() {
+            let smooth = problem.smooth_objective(&beta)?;
+            let penalty: f64 =
+                (0..m_count).map(|m| column_norm(&beta, m)).sum::<f64>() * mu;
+            let active = (0..m_count).filter(|&m| column_norm(&beta, m) > 0.0).count();
+            telemetry::event(
+                "bcd.sweep",
+                &[
+                    ("objective", smooth + penalty),
+                    ("kkt_residual", worst_kkt / kkt_scale),
+                    ("active_groups", active as f64),
+                ],
+            );
+        }
         if worst_kkt <= options.tolerance * kkt_scale {
             break (true, worst_kkt / kkt_scale);
         }
@@ -218,6 +236,8 @@ pub fn solve_penalized(
             break (false, worst_kkt / kkt_scale);
         }
     };
+    telemetry::counter("bcd.solves", 1);
+    telemetry::histogram("bcd.sweeps", sweeps as f64, "sweeps");
 
     let smooth = problem.smooth_objective(&beta)?;
     let penalty: f64 = (0..m_count).map(|m| column_norm(&beta, m)).sum::<f64>() * mu;

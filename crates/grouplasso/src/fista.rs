@@ -3,6 +3,7 @@
 //! problems.
 
 use voltsense_linalg::Matrix;
+use voltsense_telemetry as telemetry;
 
 use crate::bcd::{GlOptions, GlSolution};
 use crate::problem::{column_norm, GlProblem};
@@ -100,6 +101,27 @@ pub fn solve_penalized_fista(
         y = y_next;
         t = t_next;
 
+        // Convergence telemetry: objective/KKT are O(K·M²) extras, so they
+        // are only evaluated when a recorder is listening.
+        if telemetry::enabled() {
+            let smooth = problem.smooth_objective(&beta)?;
+            let penalty: f64 =
+                (0..m_count).map(|m| column_norm(&beta, m)).sum::<f64>() * mu;
+            let kkt = crate::kkt_violation(problem, &beta, mu)?
+                / problem.mu_max().max(f64::MIN_POSITIVE);
+            let active = (0..m_count).filter(|&m| column_norm(&beta, m) > 0.0).count();
+            telemetry::event(
+                "fista.iter",
+                &[
+                    ("objective", smooth + penalty),
+                    ("kkt_residual", kkt),
+                    ("active_groups", active as f64),
+                    ("step", step),
+                    ("max_change", max_change),
+                ],
+            );
+        }
+
         let scale = max_coef.max(1e-12);
         if max_change <= options.tolerance * scale {
             break true;
@@ -113,6 +135,8 @@ pub fn solve_penalized_fista(
     let penalty: f64 = (0..m_count).map(|m| column_norm(&beta, m)).sum::<f64>() * mu;
     let kkt_residual = crate::kkt_violation(problem, &beta, mu)?
         / problem.mu_max().max(f64::MIN_POSITIVE);
+    telemetry::counter("fista.solves", 1);
+    telemetry::histogram("fista.iterations", iterations as f64, "iters");
     Ok(GlSolution {
         beta,
         mu,

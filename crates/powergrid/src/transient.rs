@@ -1,4 +1,5 @@
 use voltsense_sparse::{EnvelopeCholesky, TripletMatrix};
+use voltsense_telemetry as telemetry;
 
 use crate::integrator::Integration;
 use crate::model::GridModel;
@@ -142,7 +143,10 @@ impl<'m> TransientSimulator<'m> {
         for (pad, &g) in model.pads().iter().zip(&pad_g) {
             t.add(pad.node, pad.node, g);
         }
-        let chol = EnvelopeCholesky::factor(&t.to_csr())?;
+        let chol = {
+            let _span = telemetry::span("transient.factor");
+            EnvelopeCholesky::factor(&t.to_csr())?
+        };
 
         // DC initial condition.
         let voltages = model.dc_solve(initial_block_currents)?;
@@ -200,6 +204,7 @@ impl<'m> TransientSimulator<'m> {
     /// Returns [`PowerGridError::ShapeMismatch`] if the current vector does
     /// not match the block count.
     pub fn step(&mut self, block_currents: &[f64]) -> Result<&[f64], PowerGridError> {
+        let _span = telemetry::span("transient.step");
         self.model
             .scatter_loads_into(block_currents, &mut self.loads)?;
         let vdd = self.model.config().vdd;

@@ -6,6 +6,7 @@
 //! a factorization is not worth it.
 
 use voltsense_linalg::vec_ops;
+use voltsense_telemetry as telemetry;
 
 use crate::ic::IncompleteCholesky;
 use crate::{CsrMatrix, SparseError};
@@ -145,7 +146,13 @@ pub fn solve(a: &CsrMatrix, b: &[f64], options: &CgOptions) -> Result<CgSolution
         vec_ops::axpy(alpha, &p, &mut x);
         vec_ops::axpy(-alpha, &ap, &mut r);
         let rel = vec_ops::norm2(&r) / b_norm;
+        telemetry::event(
+            "cg.iter",
+            &[("iteration", (iter + 1) as f64), ("residual", rel)],
+        );
         if rel <= options.tolerance {
+            telemetry::counter("cg.solves", 1);
+            telemetry::histogram("cg.iterations", (iter + 1) as f64, "iters");
             return Ok(CgSolution {
                 x,
                 iterations: iter + 1,
@@ -160,6 +167,7 @@ pub fn solve(a: &CsrMatrix, b: &[f64], options: &CgOptions) -> Result<CgSolution
             *pi = zi + beta * *pi;
         }
     }
+    telemetry::counter("cg.failures", 1);
     Err(SparseError::DidNotConverge {
         iterations: max_iter,
         relative_residual: vec_ops::norm2(&r) / b_norm,

@@ -1,0 +1,146 @@
+//! Log-scale histogram with percentile queries.
+//!
+//! Values are binned into logarithmic buckets, 8 sub-buckets per octave
+//! (bucket index = `floor(log2(v) * 8)`), which bounds the relative error of
+//! a percentile estimate by the half-width of one bucket: `2^(1/16) - 1`,
+//! about 4.4%. Exact `min`, `max`, `sum`, and `count` are tracked alongside
+//! the buckets so the extremes and the mean are exact. Non-positive and
+//! non-finite values are counted in a dedicated underflow bucket that sorts
+//! below every log bucket.
+
+use std::collections::BTreeMap;
+
+/// Sub-buckets per octave (power of two). 8 gives ~4.4% relative error.
+const SUBBUCKETS_PER_OCTAVE: f64 = 8.0;
+
+/// A mergeable log-scale histogram.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Values `<= 0` or non-finite; they sort below every log bucket.
+    underflow: u64,
+    buckets: BTreeMap<i32, u64>,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            if value < self.min {
+                self.min = value;
+            }
+            if value > self.max {
+                self.max = value;
+            }
+        }
+        self.count += 1;
+        self.sum += value;
+        if value.is_finite() && value > 0.0 {
+            let idx = (value.log2() * SUBBUCKETS_PER_OCTAVE).floor() as i32;
+            *self.buckets.entry(idx).or_insert(0) += 1;
+        } else {
+            self.underflow += 1;
+        }
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.underflow += other.underflow;
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact minimum recorded value (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile for `q` in `[0, 1]`.
+    ///
+    /// Returns the representative value (geometric bucket center) of the
+    /// bucket containing the `ceil(q * count)`-th smallest sample, clamped to
+    /// the exact `[min, max]` range so the extreme quantiles are exact.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are tracked exactly.
+        if target == 1 {
+            return self.min;
+        }
+        if target == self.count {
+            return self.max;
+        }
+        let mut cumulative = self.underflow;
+        if cumulative >= target {
+            // The target rank falls among non-positive/non-finite values;
+            // the best point estimate we have is the exact minimum.
+            return self.min;
+        }
+        for (&idx, &n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= target {
+                let center = ((idx as f64 + 0.5) / SUBBUCKETS_PER_OCTAVE).exp2();
+                return center.clamp(self.min.max(0.0), self.max);
+            }
+        }
+        self.max
+    }
+}

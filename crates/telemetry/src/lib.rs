@@ -1,0 +1,254 @@
+//! # voltsense-telemetry
+//!
+//! Zero-external-dependency observability for the voltsense workspace:
+//! a [`Recorder`] trait with a zero-cost no-op default, a thread-safe
+//! [`MemoryRecorder`] (RAII hierarchical spans, counters, gauges, log-scale
+//! histograms with percentile queries), and exporters for a JSON snapshot,
+//! a Chrome trace-event file, and a plain-text summary table.
+//!
+//! Instrumented code calls the free functions in this module
+//! ([`span`], [`counter`], [`gauge`], [`histogram`], [`event`]). When no
+//! recorder is active they cost one relaxed atomic load plus one
+//! thread-local read — nothing is allocated, formatted, or locked — so
+//! instrumentation can stay in hot paths permanently (DESIGN.md §7).
+//!
+//! Two activation paths:
+//! - **Process-global**: set `VOLTSENSE_TELEMETRY` and call
+//!   [`init_from_env`] once near the top of `main`. A truthy value
+//!   (`1`/`true`/`on`/`yes`) exports to `results/telemetry_<suite>.*`;
+//!   any other non-empty value is used as the output path prefix.
+//!   The returned [`TelemetryGuard`] writes `<prefix>.json` and
+//!   `<prefix>.trace.json` when dropped.
+//! - **Thread-scoped**: [`with_scoped`] routes signals from the current
+//!   thread to a caller-owned recorder for the duration of a closure.
+//!   Tests use this to capture without touching process globals, so
+//!   parallel test threads never observe each other's telemetry.
+
+pub mod env;
+pub mod export;
+mod histogram;
+pub mod json;
+mod recorder;
+
+pub use export::Snapshot;
+pub use histogram::Histogram;
+pub use recorder::{EventRecord, MemoryRecorder, NoopRecorder, Recorder, SpanId, SpanRecord};
+
+use std::cell::{Cell, RefCell};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static GLOBAL: OnceLock<Arc<dyn Recorder>> = OnceLock::new();
+static GLOBAL_ENABLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static SCOPED: RefCell<Vec<Arc<dyn Recorder>>> = const { RefCell::new(Vec::new()) };
+    static SCOPED_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Is any recorder active for the current thread? Instrumentation sites can
+/// use this to skip computing expensive signal values (e.g. a full objective
+/// evaluation) when nobody is listening.
+#[inline]
+pub fn enabled() -> bool {
+    GLOBAL_ENABLED.load(Ordering::Relaxed) || SCOPED_DEPTH.with(|d| d.get() > 0)
+}
+
+/// The recorder signals from the current thread should go to, if any.
+/// Scoped recorders shadow the process-global one.
+fn current_recorder() -> Option<Arc<dyn Recorder>> {
+    if SCOPED_DEPTH.with(|d| d.get() > 0) {
+        if let Some(r) = SCOPED.with(|s| s.borrow().last().cloned()) {
+            return Some(r);
+        }
+    }
+    if GLOBAL_ENABLED.load(Ordering::Relaxed) {
+        return GLOBAL.get().cloned();
+    }
+    None
+}
+
+/// Install `recorder` as the process-global sink. Fails (returning the
+/// recorder back) if one was already installed; the global can be set once
+/// per process because instrumented code may cache nothing but the helpers
+/// here never cache the pointer, so "set once" is purely a simplicity rule.
+pub fn install_global(recorder: Arc<dyn Recorder>) -> Result<(), Arc<dyn Recorder>> {
+    GLOBAL.set(recorder)?;
+    GLOBAL_ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Route telemetry from the current thread to `recorder` while `f` runs.
+/// Nested scopes shadow outer ones; the scope is popped even if `f` panics.
+pub fn with_scoped<R>(recorder: Arc<dyn Recorder>, f: impl FnOnce() -> R) -> R {
+    struct Pop;
+    impl Drop for Pop {
+        fn drop(&mut self) {
+            SCOPED.with(|s| {
+                s.borrow_mut().pop();
+            });
+            SCOPED_DEPTH.with(|d| d.set(d.get() - 1));
+        }
+    }
+    SCOPED.with(|s| s.borrow_mut().push(recorder));
+    SCOPED_DEPTH.with(|d| d.set(d.get() + 1));
+    let _pop = Pop;
+    f()
+}
+
+/// RAII wall-clock span. Created by [`span`]; records the interval (and
+/// feeds the span-duration histogram) when dropped.
+pub struct Span {
+    active: Option<(Arc<dyn Recorder>, SpanId)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((recorder, id)) = self.active.take() {
+            recorder.span_end(id);
+        }
+    }
+}
+
+/// Open a span named `name`. Free when telemetry is disabled.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    match current_recorder() {
+        Some(recorder) => {
+            let id = recorder.span_begin(name);
+            Span {
+                active: Some((recorder, id)),
+            }
+        }
+        None => Span { active: None },
+    }
+}
+
+/// Add `delta` to the counter `name`. Free when telemetry is disabled.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if let Some(recorder) = current_recorder() {
+        recorder.counter_add(name, delta);
+    }
+}
+
+/// Set the gauge `name`. Free when telemetry is disabled.
+#[inline]
+pub fn gauge(name: &'static str, value: f64) {
+    if let Some(recorder) = current_recorder() {
+        recorder.gauge_set(name, value);
+    }
+}
+
+/// Record `value` into the histogram `name`. Free when telemetry is disabled.
+#[inline]
+pub fn histogram(name: &'static str, value: f64, unit: &'static str) {
+    if let Some(recorder) = current_recorder() {
+        recorder.histogram_record(name, value, unit);
+    }
+}
+
+/// Record a timestamped event with numeric fields. Free when telemetry is
+/// disabled; compute expensive field values behind an [`enabled`] check.
+#[inline]
+pub fn event(name: &'static str, fields: &[(&'static str, f64)]) {
+    if let Some(recorder) = current_recorder() {
+        recorder.event(name, fields);
+    }
+}
+
+/// Handle returned by [`init_from_env`]. Exports the capture when dropped:
+/// writes `<prefix>.json` (snapshot) and `<prefix>.trace.json` (Chrome
+/// trace) and prints the text summary to stderr.
+pub struct TelemetryGuard {
+    recorder: Arc<MemoryRecorder>,
+    suite: String,
+    prefix: PathBuf,
+}
+
+impl TelemetryGuard {
+    /// Path the JSON snapshot will be written to.
+    pub fn snapshot_path(&self) -> PathBuf {
+        with_extension(&self.prefix, ".json")
+    }
+
+    /// Path the Chrome trace will be written to.
+    pub fn trace_path(&self) -> PathBuf {
+        with_extension(&self.prefix, ".trace.json")
+    }
+
+    /// The capture so far (mainly for tests).
+    pub fn snapshot(&self) -> Snapshot {
+        self.recorder.snapshot(&self.suite)
+    }
+}
+
+fn with_extension(prefix: &PathBuf, suffix: &str) -> PathBuf {
+    let mut s = prefix.as_os_str().to_os_string();
+    s.push(suffix);
+    PathBuf::from(s)
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        // Stop accepting signals before exporting so the files are final.
+        GLOBAL_ENABLED.store(false, Ordering::Relaxed);
+        let snapshot = self.recorder.snapshot(&self.suite);
+        if let Some(parent) = self.prefix.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        let snapshot_path = self.snapshot_path();
+        let trace_path = self.trace_path();
+        if let Err(e) = std::fs::write(&snapshot_path, snapshot.to_json()) {
+            eprintln!("[telemetry] failed to write {}: {e}", snapshot_path.display());
+        }
+        if let Err(e) = std::fs::write(&trace_path, snapshot.to_chrome_trace()) {
+            eprintln!("[telemetry] failed to write {}: {e}", trace_path.display());
+        }
+        eprintln!(
+            "[telemetry] wrote {} and {}",
+            snapshot_path.display(),
+            trace_path.display()
+        );
+        eprint!("{}", snapshot.to_summary_table());
+    }
+}
+
+/// Activate telemetry for this process if `VOLTSENSE_TELEMETRY` is set.
+///
+/// - unset / falsy (`0`/`false`/`off`/`no`): returns `None`, telemetry
+///   stays a no-op;
+/// - truthy (`1`/`true`/`on`/`yes`): exports to
+///   `<results dir>/telemetry_<suite>.{json,trace.json}`;
+/// - anything else: treated as an output path prefix.
+///
+/// Call once near the top of `main` and keep the guard alive until the
+/// instrumented work is done:
+///
+/// ```no_run
+/// let _telemetry = voltsense_telemetry::init_from_env("my_bench");
+/// ```
+pub fn init_from_env(suite: &str) -> Option<TelemetryGuard> {
+    let raw = env::value("VOLTSENSE_TELEMETRY")?;
+    if env::is_falsy(&raw) {
+        return None;
+    }
+    let prefix = if env::is_truthy(&raw) {
+        env::results_dir().join(format!("telemetry_{suite}"))
+    } else {
+        PathBuf::from(raw)
+    };
+    let recorder = Arc::new(MemoryRecorder::new());
+    if install_global(recorder.clone()).is_err() {
+        eprintln!("[telemetry] a global recorder is already installed; VOLTSENSE_TELEMETRY ignored");
+        return None;
+    }
+    Some(TelemetryGuard {
+        recorder,
+        suite: suite.to_string(),
+        prefix,
+    })
+}

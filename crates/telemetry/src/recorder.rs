@@ -1,0 +1,285 @@
+//! The `Recorder` trait, the zero-cost no-op recorder, and the thread-safe
+//! in-memory recorder used for real captures.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+
+/// Opaque handle returned by [`Recorder::span_begin`] and consumed by
+/// [`Recorder::span_end`]. `SpanId(0)` is the reserved "no span" handle that
+/// every recorder must ignore on `span_end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    pub const NONE: SpanId = SpanId(0);
+}
+
+/// Sink for telemetry signals. Implementations must be cheap to call and
+/// safe to share across threads; instrumented code never checks which
+/// recorder is installed.
+///
+/// All names are `&'static str` by design: instrumentation sites name their
+/// signals with literals, which keeps the hot path free of allocation.
+pub trait Recorder: Send + Sync {
+    /// Open a wall-clock span. The returned id must be passed to
+    /// [`Recorder::span_end`] on the same thread to close it.
+    fn span_begin(&self, name: &'static str) -> SpanId;
+    /// Close a span opened by [`Recorder::span_begin`]. Ignores
+    /// [`SpanId::NONE`] and unknown ids.
+    fn span_end(&self, id: SpanId);
+    /// Add `delta` to a monotonically increasing counter.
+    fn counter_add(&self, name: &'static str, delta: u64);
+    /// Set a point-in-time gauge.
+    fn gauge_set(&self, name: &'static str, value: f64);
+    /// Record one observation into a log-scale histogram.
+    fn histogram_record(&self, name: &'static str, value: f64, unit: &'static str);
+    /// Record a timestamped event with numeric fields (e.g. one solver
+    /// iteration with its objective and residual).
+    fn event(&self, name: &'static str, fields: &[(&'static str, f64)]);
+}
+
+/// Recorder that drops everything. Every method is an empty inlineable body,
+/// so instrumentation dispatched here costs a virtual call at most — and the
+/// crate-level helpers skip even that when telemetry is disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn span_begin(&self, _name: &'static str) -> SpanId {
+        SpanId::NONE
+    }
+    #[inline]
+    fn span_end(&self, _id: SpanId) {}
+    #[inline]
+    fn counter_add(&self, _name: &'static str, _delta: u64) {}
+    #[inline]
+    fn gauge_set(&self, _name: &'static str, _value: f64) {}
+    #[inline]
+    fn histogram_record(&self, _name: &'static str, _value: f64, _unit: &'static str) {}
+    #[inline]
+    fn event(&self, _name: &'static str, _fields: &[(&'static str, f64)]) {}
+}
+
+/// One closed (or still-open) span as stored by [`MemoryRecorder`].
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    pub name: &'static str,
+    /// Nanoseconds since the recorder was created.
+    pub start_ns: u64,
+    /// Nanoseconds since the recorder was created; `None` while open.
+    pub end_ns: Option<u64>,
+    /// Index into the span list of the enclosing span on the same thread.
+    pub parent: Option<usize>,
+    /// Dense per-recorder thread index (0 = first thread seen).
+    pub thread: usize,
+}
+
+/// One timestamped event as stored by [`MemoryRecorder`].
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    pub name: &'static str,
+    /// Nanoseconds since the recorder was created.
+    pub at_ns: u64,
+    pub thread: usize,
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, (Histogram, &'static str)>,
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+    /// Thread registry: position = dense thread index used in records.
+    threads: Vec<ThreadId>,
+    /// Per-thread stack of open span indices (keyed by dense thread index).
+    stacks: Vec<Vec<usize>>,
+}
+
+impl Inner {
+    fn thread_index(&mut self, id: ThreadId) -> usize {
+        if let Some(pos) = self.threads.iter().position(|&t| t == id) {
+            pos
+        } else {
+            self.threads.push(id);
+            self.stacks.push(Vec::new());
+            self.threads.len() - 1
+        }
+    }
+}
+
+/// Thread-safe in-memory recorder. All signals go through one mutex; this is
+/// deliberate — telemetry is only ever enabled for diagnostic runs, and the
+/// mutex keeps span parenting, ordering, and merges trivially correct.
+///
+/// Span durations are automatically folded into a histogram named after the
+/// span (unit `ns`), so every instrumented region gets percentile stats for
+/// free.
+pub struct MemoryRecorder {
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for MemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryRecorder {
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding this mutex can only come from allocation
+        // failure; recovering the data beats poisoning the whole capture.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Copy the current state into an immutable [`Snapshot`](crate::export::Snapshot).
+    /// Spans still open at snapshot time are reported with the snapshot
+    /// instant as their end.
+    pub fn snapshot(&self, suite: &str) -> crate::export::Snapshot {
+        use crate::export::{HistogramSummary, Snapshot, SpanSummary};
+        let now = self.now_ns();
+        let inner = self.lock();
+        Snapshot {
+            suite: suite.to_string(),
+            counters: inner.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            gauges: inner.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(&name, (h, unit))| HistogramSummary {
+                    name: name.to_string(),
+                    unit: unit.to_string(),
+                    count: h.count(),
+                    min: h.min(),
+                    max: h.max(),
+                    mean: h.mean(),
+                    p50: h.quantile(0.50),
+                    p95: h.quantile(0.95),
+                    p99: h.quantile(0.99),
+                })
+                .collect(),
+            spans: inner
+                .spans
+                .iter()
+                .map(|s| SpanSummary {
+                    name: s.name.to_string(),
+                    start_ns: s.start_ns,
+                    end_ns: s.end_ns.unwrap_or(now),
+                    parent: s.parent,
+                    thread: s.thread,
+                })
+                .collect(),
+            events: inner
+                .events
+                .iter()
+                .map(|e| crate::export::EventSummary {
+                    name: e.name.to_string(),
+                    at_ns: e.at_ns,
+                    thread: e.thread,
+                    fields: e
+                        .fields
+                        .iter()
+                        .map(|&(k, v)| (k.to_string(), v))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn span_begin(&self, name: &'static str) -> SpanId {
+        let start_ns = self.now_ns();
+        let mut inner = self.lock();
+        let thread = inner.thread_index(std::thread::current().id());
+        let parent = inner.stacks[thread].last().copied();
+        let index = inner.spans.len();
+        inner.spans.push(SpanRecord {
+            name,
+            start_ns,
+            end_ns: None,
+            parent,
+            thread,
+        });
+        inner.stacks[thread].push(index);
+        SpanId(index as u64 + 1)
+    }
+
+    fn span_end(&self, id: SpanId) {
+        if id == SpanId::NONE {
+            return;
+        }
+        let end_ns = self.now_ns();
+        let index = (id.0 - 1) as usize;
+        let mut inner = self.lock();
+        if index >= inner.spans.len() || inner.spans[index].end_ns.is_some() {
+            return;
+        }
+        inner.spans[index].end_ns = Some(end_ns);
+        let (name, start_ns, thread) = {
+            let s = &inner.spans[index];
+            (s.name, s.start_ns, s.thread)
+        };
+        // Remove from the open stack; tolerate out-of-order closes.
+        if let Some(pos) = inner.stacks[thread].iter().rposition(|&i| i == index) {
+            inner.stacks[thread].remove(pos);
+        }
+        let duration = end_ns.saturating_sub(start_ns) as f64;
+        inner
+            .histograms
+            .entry(name)
+            .or_insert_with(|| (Histogram::new(), "ns"))
+            .0
+            .record(duration);
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut inner = self.lock();
+        *inner.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        let mut inner = self.lock();
+        inner.gauges.insert(name, value);
+    }
+
+    fn histogram_record(&self, name: &'static str, value: f64, unit: &'static str) {
+        let mut inner = self.lock();
+        inner
+            .histograms
+            .entry(name)
+            .or_insert_with(|| (Histogram::new(), unit))
+            .0
+            .record(value);
+    }
+
+    fn event(&self, name: &'static str, fields: &[(&'static str, f64)]) {
+        let at_ns = self.now_ns();
+        let mut inner = self.lock();
+        let thread = inner.thread_index(std::thread::current().id());
+        inner.events.push(EventRecord {
+            name,
+            at_ns,
+            thread,
+            fields: fields.to_vec(),
+        });
+    }
+}

@@ -7,10 +7,17 @@
 //! statistics machinery. Reports are printed to stdout and written as JSON
 //! to `results/bench_<suite>.json` so runs can be diffed across commits.
 //!
-//! Environment knobs:
+//! The JSON report follows the workspace-wide `voltsense-metrics-v1`
+//! schema (documented in DESIGN.md §7): every benchmark entry carries the
+//! shared `name`/`value`/`unit` fields (the headline median in ns) next to
+//! the bench-specific detail fields, so bench reports and telemetry
+//! snapshots are mergeable by the same tooling.
+//!
+//! Environment knobs (all parsed by [`voltsense_telemetry::env`]):
 //!
 //! * `TESTKIT_BENCH_SAMPLES=k` — timed samples per benchmark (default 11).
-//! * `TESTKIT_BENCH_FAST=1` — 3 samples, minimal calibration (CI smoke).
+//! * `TESTKIT_BENCH_FAST=1` (or `true`/`on`/`yes`) — 3 samples, minimal
+//!   calibration (CI smoke).
 //! * `TESTKIT_RESULTS_DIR=dir` — override the output directory.
 
 use std::fs;
@@ -18,6 +25,8 @@ use std::hint::black_box;
 use std::io;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+use voltsense_telemetry::env;
 
 /// Target duration of one timed sample after batch calibration.
 const TARGET_SAMPLE: Duration = Duration::from_millis(5);
@@ -51,10 +60,8 @@ pub struct BenchTimer {
 impl BenchTimer {
     /// Creates a timer for the named suite (the JSON file stem).
     pub fn new(suite: &str) -> Self {
-        let fast = std::env::var("TESTKIT_BENCH_FAST").is_ok_and(|v| v == "1");
-        let samples = std::env::var("TESTKIT_BENCH_SAMPLES")
-            .ok()
-            .and_then(|v| v.parse::<u32>().ok())
+        let fast = env::flag("TESTKIT_BENCH_FAST");
+        let samples = env::parse::<u32>("TESTKIT_BENCH_SAMPLES")
             .filter(|&k| k > 0)
             .unwrap_or(if fast { 3 } else { 11 });
         BenchTimer {
@@ -116,7 +123,7 @@ impl BenchTimer {
     ///
     /// Propagates filesystem errors from creating the directory or file.
     pub fn finish(self) -> io::Result<PathBuf> {
-        let dir = results_dir();
+        let dir = env::results_dir();
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("bench_{}.json", self.suite));
         fs::write(&path, self.to_json())?;
@@ -124,17 +131,21 @@ impl BenchTimer {
         Ok(path)
     }
 
-    /// Renders the suite report as JSON (hand-rolled; the dependency policy
-    /// rules out serde, and the schema is flat).
+    /// Renders the suite report as `voltsense-metrics-v1` JSON
+    /// (hand-rolled; the dependency policy rules out serde, and the schema
+    /// is flat). The shared `value`/`unit` fields carry the median in ns.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
+        s.push_str("  \"schema\": \"voltsense-metrics-v1\",\n");
         s.push_str(&format!("  \"suite\": \"{}\",\n", escape(&self.suite)));
         s.push_str("  \"benchmarks\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \
+                "    {{\"name\": \"{}\", \"value\": {}, \"unit\": \"ns\", \
+                 \"median_ns\": {}, \"min_ns\": {}, \
                  \"max_ns\": {}, \"iters_per_sample\": {}, \"samples\": {}}}{}\n",
                 escape(&r.name),
+                r.median_ns,
                 r.median_ns,
                 r.min_ns,
                 r.max_ns,
@@ -188,28 +199,6 @@ fn escape(s: &str) -> String {
         .collect()
 }
 
-/// The workspace `results/` directory: `TESTKIT_RESULTS_DIR` if set, else
-/// found by walking up from the running crate's manifest (falling back to
-/// the current directory).
-fn results_dir() -> PathBuf {
-    if let Ok(dir) = std::env::var("TESTKIT_RESULTS_DIR") {
-        return PathBuf::from(dir);
-    }
-    let start = std::env::var("CARGO_MANIFEST_DIR")
-        .map(PathBuf::from)
-        .or_else(|_| std::env::current_dir())
-        .unwrap_or_else(|_| PathBuf::from("."));
-    let mut dir = start.clone();
-    loop {
-        if dir.join("results").is_dir() {
-            return dir.join("results");
-        }
-        if !dir.pop() {
-            return start.join("results");
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,14 +218,26 @@ mod tests {
     }
 
     #[test]
-    fn json_report_is_well_formed_enough() {
+    fn json_report_follows_shared_metrics_schema() {
         let mut t = BenchTimer::new("jsontest");
         t.bench("noop", || 1u8);
         let json = t.to_json();
-        assert!(json.contains("\"suite\": \"jsontest\""));
-        assert!(json.contains("\"name\": \"noop\""));
-        assert!(json.contains("\"median_ns\""));
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let doc = voltsense_telemetry::json::parse(&json).expect("report must be valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("voltsense-metrics-v1")
+        );
+        assert_eq!(doc.get("suite").and_then(|v| v.as_str()), Some("jsontest"));
+        let benches = doc.get("benchmarks").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(benches.len(), 1);
+        let b = &benches[0];
+        assert_eq!(b.get("name").and_then(|v| v.as_str()), Some("noop"));
+        assert_eq!(b.get("unit").and_then(|v| v.as_str()), Some("ns"));
+        // The shared `value` field carries the headline median.
+        assert_eq!(
+            b.get("value").and_then(|v| v.as_f64()),
+            b.get("median_ns").and_then(|v| v.as_f64())
+        );
     }
 
     #[test]

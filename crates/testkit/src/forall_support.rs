@@ -77,14 +77,10 @@ impl ForallConfig {
     /// Builds the config for one `forall!` site, honouring the
     /// `TESTKIT_CASES` and `TESTKIT_SEED` environment overrides.
     pub fn new(default_cases: u64, module: &'static str, line: u32) -> Self {
-        let cases = std::env::var("TESTKIT_CASES")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
+        let cases = voltsense_telemetry::env::parse::<u64>("TESTKIT_CASES")
             .filter(|&n| n > 0)
             .unwrap_or(default_cases);
-        let fixed_seed = std::env::var("TESTKIT_SEED")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok());
+        let fixed_seed = voltsense_telemetry::env::parse::<u64>("TESTKIT_SEED");
         let mut base = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
         for b in module.bytes() {
             base ^= u64::from(b);

@@ -66,3 +66,7 @@ pub use voltsense_core as core;
 
 /// Deterministic sensor fault injection ([`voltsense_faults`]).
 pub use voltsense_faults as faults;
+
+/// Observability: spans, metrics, convergence traces
+/// ([`voltsense_telemetry`]).
+pub use voltsense_telemetry as telemetry;
