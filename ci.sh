@@ -29,6 +29,43 @@ VOLTSENSE_TELEMETRY="$telemetry_prefix" \
 cargo run --release --offline -p voltsense-bench --bin validate_telemetry \
     "$telemetry_prefix.json" "$telemetry_prefix.trace.json"
 
+echo "==> live observability smoke (flight recorder + /metrics scrape + incidents)"
+# Run the example with NO export capture: only the always-on flight
+# recorder is active. Scrape the live endpoint while it runs, then let it
+# finish and validate the incident files the mid-trace sensor fault left
+# behind.
+obs_dir="$(mktemp -d)"
+VOLTSENSE_TELEMETRY_ADDR=127.0.0.1:0 \
+VOLTSENSE_TELEMETRY_ADDR_FILE="$obs_dir/addr" \
+VOLTSENSE_TELEMETRY_LINGER=120 \
+VOLTSENSE_TELEMETRY_STOP="$obs_dir/stop" \
+VOLTSENSE_INCIDENT_DIR="$obs_dir/incidents" \
+    cargo run --release --offline -p voltsense --example emergency_monitor &
+example_pid=$!
+trap 'kill "$example_pid" 2>/dev/null || true' EXIT
+cargo run --release --offline -p voltsense-bench --bin scrape_endpoint "@$obs_dir/addr"
+touch "$obs_dir/stop"   # release the linger
+wait "$example_pid"
+trap - EXIT
+cargo run --release --offline -p voltsense-bench --bin validate_incident -- \
+    --expect-kind alarm --expect-kind hot_swap \
+    --expect-ring-event monitor.alarm --expect-attribution \
+    "$obs_dir"/incidents/*.json
+
+if [[ "${VOLTSENSE_BENCH_GATE:-}" == 1 ]]; then
+    echo "==> bench regression gate (VOLTSENSE_BENCH_GATE=1)"
+    fresh_dir="$(mktemp -d)"
+    for ref in results/bench_*.json; do
+        name="$(basename "$ref" .json)"
+        TESTKIT_BENCH_FAST=1 TESTKIT_RESULTS_DIR="$fresh_dir" \
+            cargo bench --offline -p voltsense-bench --bench "${name#bench_}" 2>/dev/null ||
+            continue
+        [[ -f "$fresh_dir/$name.json" ]] &&
+            cargo run --release --offline -p voltsense-bench --bin bench_compare \
+                "$fresh_dir/$name.json" "$ref"
+    done
+fi
+
 echo "==> dependency policy: no external crates in any manifest"
 if grep -rEn 'rand|proptest|criterion' Cargo.toml crates/*/Cargo.toml; then
     echo "ERROR: external dependency reference found in a manifest" >&2

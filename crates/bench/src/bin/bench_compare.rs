@@ -1,0 +1,132 @@
+//! Bench regression gate: diff a fresh `BenchTimer` report against a
+//! reference report and exit non-zero when a benchmark got slower than the
+//! tolerance allows.
+//!
+//! Usage: `bench_compare <fresh.json> <reference.json> [--tolerance <frac>]`
+//!
+//! Both files are `voltsense-metrics-v1` bench reports (the JSON
+//! `testkit::BenchTimer` writes under `results/`). Benchmarks are matched
+//! by `name`; the headline `value` (median ns) is compared. With the
+//! default tolerance of 0.30 (±30%), a fresh median above `1.3 ×
+//! reference` is a **regression** (fails the gate), below `0.7 ×
+//! reference` is an improvement (reported, never fails — refresh the
+//! reference to lock it in). A benchmark present in the reference but
+//! missing from the fresh report fails; extra fresh benchmarks are noted.
+//!
+//! Wall-clock medians are machine-sensitive, so CI runs this as an
+//! opt-in step (`VOLTSENSE_BENCH_GATE=1` in `ci.sh`); the default
+//! tolerance is wide enough to catch step-change regressions, not
+//! percent-level drift.
+
+use std::process::ExitCode;
+
+use voltsense::telemetry::json::{self, Value};
+
+/// Default relative tolerance (±30%).
+const DEFAULT_TOLERANCE: f64 = 0.30;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench_compare FAILED: {msg}");
+    ExitCode::FAILURE
+}
+
+/// `(name, median_ns)` for every benchmark entry in a report.
+fn benchmarks(doc: &Value, path: &str) -> Result<Vec<(String, f64)>, String> {
+    if doc.get("schema").and_then(Value::as_str) != Some("voltsense-metrics-v1") {
+        return Err(format!("{path}: missing or wrong \"schema\" marker"));
+    }
+    let entries = doc
+        .get("benchmarks")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: no \"benchmarks\" array (not a bench report?)"))?;
+    let mut out = Vec::with_capacity(entries.len());
+    for e in entries {
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}: benchmark entry without a \"name\""))?;
+        let value = e
+            .get("value")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{path}: benchmark {name:?} without a numeric \"value\""))?;
+        out.push((name.to_string(), value));
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    benchmarks(&doc, path)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (mut fresh_path, mut ref_path, mut tolerance) = (None, None, DEFAULT_TOLERANCE);
+    while let Some(arg) = args.next() {
+        if arg == "--tolerance" {
+            match args.next().as_deref().map(str::parse::<f64>) {
+                Some(Ok(t)) if t > 0.0 && t.is_finite() => tolerance = t,
+                _ => return fail("--tolerance needs a positive fraction, e.g. 0.30"),
+            }
+        } else if fresh_path.is_none() {
+            fresh_path = Some(arg);
+        } else if ref_path.is_none() {
+            ref_path = Some(arg);
+        } else {
+            return fail("usage: bench_compare <fresh.json> <reference.json> [--tolerance <frac>]");
+        }
+    }
+    let (Some(fresh_path), Some(ref_path)) = (fresh_path, ref_path) else {
+        return fail("usage: bench_compare <fresh.json> <reference.json> [--tolerance <frac>]");
+    };
+
+    let fresh = match load(&fresh_path) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let reference = match load(&ref_path) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+
+    let mut regressions = 0usize;
+    println!(
+        "{:<32} {:>14} {:>14} {:>9}  verdict (tolerance ±{:.0}%)",
+        "benchmark",
+        "reference ns",
+        "fresh ns",
+        "ratio",
+        tolerance * 100.0
+    );
+    for (name, ref_ns) in &reference {
+        let Some((_, fresh_ns)) = fresh.iter().find(|(n, _)| n == name) else {
+            println!("{name:<32} {ref_ns:>14.0} {:>14} {:>9}  MISSING from fresh report", "—", "—");
+            regressions += 1;
+            continue;
+        };
+        let ratio = fresh_ns / ref_ns.max(f64::MIN_POSITIVE);
+        let verdict = if ratio > 1.0 + tolerance {
+            regressions += 1;
+            "REGRESSION"
+        } else if ratio < 1.0 - tolerance {
+            "improved (refresh the reference)"
+        } else {
+            "ok"
+        };
+        println!("{name:<32} {ref_ns:>14.0} {fresh_ns:>14.0} {ratio:>8.2}x  {verdict}");
+    }
+    for (name, _) in &fresh {
+        if !reference.iter().any(|(n, _)| n == name) {
+            println!("{name:<32} (new benchmark, no reference — not compared)");
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!("bench_compare: {regressions} regression(s) beyond ±{tolerance:.2}");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_compare: no regressions beyond ±{tolerance:.2}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,203 @@
+//! CI live-endpoint scraper: a real HTTP client for the telemetry server.
+//!
+//! Usage: `scrape_endpoint <addr | @addr-file>`
+//!
+//! Performs `GET /metrics` and `GET /snapshot` against a running
+//! `telemetry::serve` endpoint (`<addr>` is `host:port`; `@file` reads the
+//! address from the file `telemetry::serve` wrote via
+//! `VOLTSENSE_TELEMETRY_ADDR_FILE`, polling up to 60 s for it to appear)
+//! and asserts what the CI gate promises:
+//!
+//! * `/metrics` answers 200 with valid Prometheus text exposition — every
+//!   sample line round-trip parses as `name[{labels}] value`, and the
+//!   document contains at least one counter (`_total`), one gauge, and
+//!   one histogram quantile sample;
+//! * `/snapshot` answers 200 with a parseable `voltsense-metrics-v1`
+//!   JSON document (validated with the in-tree parser).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use voltsense::telemetry::json::{self, Value};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("endpoint scrape FAILED: {msg}");
+    ExitCode::FAILURE
+}
+
+/// One plain HTTP/1.1 GET; returns (status code, body).
+fn get(addr: &str, path: &str) -> Result<(u32, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes())
+        .map_err(|e| format!("send request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read response: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{path}: malformed HTTP response"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u32>().ok())
+        .ok_or_else(|| format!("{path}: missing status code"))?;
+    Ok((status, body.to_string()))
+}
+
+/// Round-trip parse of one exposition sample line:
+/// `name[{label="value",...}] number`. Returns (metric name, has labels).
+fn parse_sample_line(line: &str) -> Result<(String, bool), String> {
+    let (name_part, value_part) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("sample line without a value: {line:?}"))?;
+    let (name, labels) = match name_part.split_once('{') {
+        Some((name, rest)) => {
+            if !rest.ends_with('}') {
+                return Err(format!("unterminated label set: {line:?}"));
+            }
+            (name, true)
+        }
+        None => (name_part, false),
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .enumerate()
+            .all(|(i, c)| c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit()))
+    {
+        return Err(format!("invalid metric name {name:?} in {line:?}"));
+    }
+    let ok_value = matches!(value_part, "NaN" | "+Inf" | "-Inf")
+        || value_part.parse::<f64>().is_ok();
+    if !ok_value {
+        return Err(format!("unparseable sample value {value_part:?} in {line:?}"));
+    }
+    Ok((name.to_string(), labels))
+}
+
+/// Why a `/metrics` attempt did not produce usable counts.
+enum Scrape {
+    /// Transient: connection refused, non-200, empty content — retryable.
+    Unavailable(String),
+    /// The server answered with invalid exposition text — fatal.
+    Malformed(String),
+}
+
+/// One `/metrics` scrape, parsed; returns
+/// `(counter TYPEs, gauge samples, quantile samples, total samples)`.
+fn scrape_metrics(addr: &str) -> Result<(usize, usize, usize, usize), Scrape> {
+    let (status, body) = get(addr, "/metrics").map_err(Scrape::Unavailable)?;
+    if status != 200 {
+        return Err(Scrape::Unavailable(format!("/metrics answered {status}")));
+    }
+    let (mut counters, mut gauges, mut quantiles, mut samples) = (0, 0, 0, 0);
+    let mut gauge_names: Vec<String> = Vec::new();
+    for line in body.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (name, kind) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            match kind {
+                "counter" => counters += 1,
+                "gauge" => gauge_names.push(name.to_string()),
+                _ => {}
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, _) = parse_sample_line(line).map_err(Scrape::Malformed)?;
+        samples += 1;
+        if line.contains("quantile=\"") {
+            quantiles += 1;
+        }
+        if gauge_names.contains(&name) {
+            gauges += 1;
+        }
+    }
+    Ok((counters, gauges, quantiles, samples))
+}
+
+fn main() -> ExitCode {
+    let Some(arg) = std::env::args().nth(1) else {
+        return fail("usage: scrape_endpoint <addr | @addr-file>");
+    };
+    let addr = if let Some(path) = arg.strip_prefix('@') {
+        // The server process writes its bound address once it is up.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            match std::fs::read_to_string(path) {
+                Ok(s) if !s.trim().is_empty() => break s.trim().to_string(),
+                _ if Instant::now() >= deadline => {
+                    return fail(&format!("address file {path} did not appear within 60s"));
+                }
+                _ => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+    } else {
+        arg
+    };
+
+    // --- /metrics ----------------------------------------------------
+    // Retried: the endpoint comes up before the process records its first
+    // signal, so an early scrape may see an (already valid) empty registry.
+    // Malformed exposition output fails immediately; missing content is
+    // given time to appear.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let (counters, gauges, quantiles, samples) = loop {
+        match scrape_metrics(&addr) {
+            Ok(counts @ (counters, gauges, quantiles, _)) => {
+                if counters > 0 && gauges > 0 && quantiles > 0 {
+                    break counts;
+                }
+                if Instant::now() >= deadline {
+                    return fail(&format!(
+                        "/metrics never exposed a counter + gauge + quantile \
+                         (saw {counters} counters, {gauges} gauge samples, {quantiles} quantiles)"
+                    ));
+                }
+            }
+            Err(Scrape::Malformed(e)) => return fail(&e),
+            Err(Scrape::Unavailable(e)) => {
+                if Instant::now() >= deadline {
+                    return fail(&e);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    };
+
+    // --- /snapshot ---------------------------------------------------
+    let (status, body) = match get(&addr, "/snapshot") {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    if status != 200 {
+        return fail(&format!("/snapshot answered {status}"));
+    }
+    let doc = match json::parse(&body) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("/snapshot: {e}")),
+    };
+    if doc.get("schema").and_then(Value::as_str) != Some("voltsense-metrics-v1") {
+        return fail("/snapshot: missing or wrong \"schema\" marker");
+    }
+    let events = doc
+        .get("events")
+        .and_then(Value::as_array)
+        .map_or(0, <[Value]>::len);
+
+    println!(
+        "endpoint scrape passed: {samples} exposition samples \
+         ({counters} counters, {gauges} gauge samples, {quantiles} quantile samples), \
+         snapshot with {events} ring events"
+    );
+    ExitCode::SUCCESS
+}

@@ -69,6 +69,11 @@ pub struct MonitorDecision {
 }
 
 /// Counters accumulated over a monitoring session.
+///
+/// Every counter is also exported as a `monitor.*` telemetry gauge on
+/// **every** `observe()` call (when a recorder is active), so a live
+/// `/metrics` scrape mid-run reflects current state rather than only the
+/// episode-end totals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MonitorStats {
     /// Samples observed.
@@ -81,6 +86,23 @@ pub struct MonitorStats {
     pub gated_readings: u64,
     /// Sensors permanently failed so far (fault-tolerant monitors).
     pub sensors_failed: u64,
+    /// Health strikes issued (gate strikes + attributed-culprit strikes).
+    pub health_strikes: u64,
+    /// Fallback-model hot swaps performed (one per newly failed sensor).
+    pub hot_swaps: u64,
+}
+
+impl MonitorStats {
+    /// Publish every counter as a `monitor.*` gauge.
+    fn export_gauges(&self) {
+        telemetry::gauge("monitor.samples", self.samples as f64);
+        telemetry::gauge("monitor.alarmed_samples", self.alarmed_samples as f64);
+        telemetry::gauge("monitor.alarm_events", self.alarm_events as f64);
+        telemetry::gauge("monitor.gated_readings", self.gated_readings as f64);
+        telemetry::gauge("monitor.sensors_failed", self.sensors_failed as f64);
+        telemetry::gauge("monitor.health_strikes", self.health_strikes as f64);
+        telemetry::gauge("monitor.hot_swaps", self.hot_swaps as f64);
+    }
 }
 
 /// Configuration of the fault-tolerance layer.
@@ -396,16 +418,25 @@ impl EmergencyMonitor {
         }
 
         // 3. Update strikes and promote persistent offenders to failed.
+        //    A gate *trip* (first strike of a streak) is an incident: the
+        //    flight recorder freezes the window around it.
+        let mut tripped: Vec<usize> = Vec::new();
         for &i in &gated {
+            if state.strikes[i] == 0 {
+                tripped.push(i);
+            }
             state.strikes[i] += 1;
         }
+        let mut strikes_issued = gated.len() as u64;
         for &i in &scored {
             if culprit == Some(i) {
                 state.strikes[i] += 1;
+                strikes_issued += 1;
             } else {
                 state.strikes[i] = 0;
             }
         }
+        self.stats.health_strikes += strikes_issued;
         let mut newly_failed = 0u64;
         for i in 0..q {
             if !state.failed[i] && state.strikes[i] >= state.policy.health_persistence {
@@ -413,6 +444,7 @@ impl EmergencyMonitor {
                 newly_failed += 1;
             }
         }
+        self.stats.hot_swaps += newly_failed;
         if telemetry::enabled() {
             let striking = state.strikes.iter().filter(|&&s| s > 0).count();
             if striking > 0 {
@@ -424,6 +456,34 @@ impl EmergencyMonitor {
                 telemetry::counter("monitor.fallback_swaps", newly_failed);
             }
         }
+        if !tripped.is_empty() {
+            let sample = self.stats.samples as f64;
+            telemetry::event(
+                "monitor.gate_trip",
+                &[("sample", sample), ("sensors", tripped.len() as f64)],
+            );
+            let failed_now: Vec<usize> = (0..q).filter(|&i| state.failed[i]).collect();
+            telemetry::incident::report(&telemetry::incident::Incident {
+                kind: "plausibility_gate",
+                fields: &[("sample", sample), ("tripped", tripped.len() as f64)],
+                failed_sensors: &failed_now,
+                gated_sensors: &tripped,
+            });
+        }
+        if newly_failed > 0 {
+            let sample = self.stats.samples as f64;
+            let failed_now: Vec<usize> = (0..q).filter(|&i| state.failed[i]).collect();
+            telemetry::event(
+                "monitor.hot_swap",
+                &[("sample", sample), ("failed_sensors", failed_now.len() as f64)],
+            );
+            telemetry::incident::report(&telemetry::incident::Incident {
+                kind: "hot_swap",
+                fields: &[("sample", sample), ("newly_failed", newly_failed as f64)],
+                failed_sensors: &failed_now,
+                gated_sensors: &gated,
+            });
+        }
 
         // 4. Degradation budget, then predict with the surviving sensors.
         let failed: Vec<usize> = (0..q).filter(|&i| state.failed[i]).collect();
@@ -433,6 +493,19 @@ impl EmergencyMonitor {
         if failed.len() > allowed || unusable >= q {
             self.stats.sensors_failed += newly_failed;
             telemetry::counter("monitor.degraded_beyond_recovery", 1);
+            if telemetry::enabled() {
+                self.stats.export_gauges();
+            }
+            telemetry::incident::report(&telemetry::incident::Incident {
+                kind: "degraded_beyond_recovery",
+                fields: &[
+                    ("sample", self.stats.samples as f64),
+                    ("unusable", unusable as f64),
+                    ("allowed", allowed as f64),
+                ],
+                failed_sensors: &failed,
+                gated_sensors: &gated,
+            });
             return Err(CoreError::DegradedBeyondRecovery {
                 failed: unusable,
                 allowed,
@@ -487,6 +560,50 @@ impl EmergencyMonitor {
             // exactly the debounce depth consumed by this alarm.
             telemetry::counter("monitor.alarm_events", 1);
             telemetry::histogram("monitor.alarm_latency_steps", self.consecutive as f64, "steps");
+        }
+        if telemetry::enabled() {
+            self.stats.export_gauges();
+            telemetry::gauge("monitor.alarm_active", self.asserted as u64 as f64);
+            telemetry::gauge("monitor.predicted_min_v", predicted_min);
+            // One ring event per observe(); the flight recorder decimates
+            // this stream so it cannot crowd out rarer events.
+            telemetry::event(
+                "monitor.observe",
+                &[
+                    ("sample", (self.stats.samples - 1) as f64),
+                    ("predicted_min", predicted_min),
+                    ("alarm", self.asserted as u64 as f64),
+                ],
+            );
+        }
+        if rising_edge {
+            let sample = (self.stats.samples - 1) as f64;
+            telemetry::event(
+                "monitor.alarm",
+                &[
+                    ("sample", sample),
+                    ("predicted_min", predicted_min),
+                    ("worst_block", worst_block as f64),
+                    ("latency_steps", self.consecutive as f64),
+                ],
+            );
+            // Freeze the flight recorder around the assertion so the
+            // emergency is explainable even with no capture pre-enabled.
+            let (failed, gated): (&[usize], &[usize]) = match &health {
+                Some(h) => (&h.failed, &h.gated),
+                None => (&[], &[]),
+            };
+            telemetry::incident::report(&telemetry::incident::Incident {
+                kind: "alarm",
+                fields: &[
+                    ("sample", sample),
+                    ("predicted_min", predicted_min),
+                    ("threshold", self.threshold),
+                    ("worst_block", worst_block as f64),
+                ],
+                failed_sensors: failed,
+                gated_sensors: gated,
+            });
         }
         MonitorDecision {
             predicted_min,

@@ -213,9 +213,9 @@ pub fn solve_penalized(
             }
         }
         // Convergence telemetry: the KKT residual falls out of the sweep for
-        // free, but the objective costs a matmul — only pay it when a
-        // recorder is listening.
-        if telemetry::enabled() {
+        // free, but the objective costs a matmul — only pay it for a
+        // full-detail capture, never for the always-on flight recorder.
+        if telemetry::detailed() {
             let smooth = problem.smooth_objective(&beta)?;
             let penalty: f64 =
                 (0..m_count).map(|m| column_norm(&beta, m)).sum::<f64>() * mu;

@@ -102,8 +102,9 @@ pub fn solve_penalized_fista(
         t = t_next;
 
         // Convergence telemetry: objective/KKT are O(K·M²) extras, so they
-        // are only evaluated when a recorder is listening.
-        if telemetry::enabled() {
+        // are only evaluated for a full-detail capture — the always-on
+        // flight recorder must not pay for them.
+        if telemetry::detailed() {
             let smooth = problem.smooth_objective(&beta)?;
             let penalty: f64 =
                 (0..m_count).map(|m| column_norm(&beta, m)).sum::<f64>() * mu;

@@ -255,7 +255,7 @@ fn push_metric_sep(out: &mut String, first: &mut bool) {
     }
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

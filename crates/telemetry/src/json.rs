@@ -223,12 +223,20 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar value.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.err("unterminated string"))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the longest run of unescaped bytes in one go
+                    // and validate it as UTF-8 once. Stopping on the raw
+                    // bytes for `"` and `\` is safe: UTF-8 continuation
+                    // bytes are always >= 0x80.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| ParseError {
+                            offset: start,
+                            message: "invalid UTF-8 in string",
+                        })?;
+                    out.push_str(chunk);
                 }
             }
         }

@@ -26,13 +26,21 @@
 
 pub mod env;
 pub mod export;
+pub mod flight;
 mod histogram;
+pub mod incident;
 pub mod json;
+pub mod prom;
 mod recorder;
+pub mod serve;
 
 pub use export::Snapshot;
+pub use flight::{FlightRecorder, RingEvent, SamplerStat};
 pub use histogram::Histogram;
-pub use recorder::{EventRecord, MemoryRecorder, NoopRecorder, Recorder, SpanId, SpanRecord};
+pub use recorder::{
+    Detail, EventRecord, FanoutRecorder, MemoryRecorder, NoopRecorder, Recorder, SpanId,
+    SpanRecord,
+};
 
 use std::cell::{Cell, RefCell};
 use std::path::PathBuf;
@@ -53,6 +61,18 @@ thread_local! {
 #[inline]
 pub fn enabled() -> bool {
     GLOBAL_ENABLED.load(Ordering::Relaxed) || SCOPED_DEPTH.with(|d| d.get() > 0)
+}
+
+/// Does the active recorder (if any) want *expensive* diagnostic signals?
+///
+/// Instrumentation sites whose signal values cost real compute (a full
+/// objective evaluation per solver iteration) must guard on this instead
+/// of [`enabled`]: a full-capture [`MemoryRecorder`] answers `true`, the
+/// always-on [`FlightRecorder`] answers `false`, so production processes
+/// never pay for diagnostics nobody asked for.
+#[inline]
+pub fn detailed() -> bool {
+    current_recorder().is_some_and(|r| r.detail() == Detail::Full)
 }
 
 /// The recorder signals from the current thread should go to, if any.
@@ -232,6 +252,18 @@ impl Drop for TelemetryGuard {
 /// let _telemetry = voltsense_telemetry::init_from_env("my_bench");
 /// ```
 pub fn init_from_env(suite: &str) -> Option<TelemetryGuard> {
+    let guard = export_guard_from_env(suite)?;
+    if install_global(guard.recorder.clone()).is_err() {
+        eprintln!("[telemetry] a global recorder is already installed; VOLTSENSE_TELEMETRY ignored");
+        return None;
+    }
+    Some(guard)
+}
+
+/// The `VOLTSENSE_TELEMETRY` contract of [`init_from_env`] minus the
+/// global installation: build the recorder + export guard and let the
+/// caller decide how signals reach it (directly, or via a fanout).
+fn export_guard_from_env(suite: &str) -> Option<TelemetryGuard> {
     let raw = env::value("VOLTSENSE_TELEMETRY")?;
     if env::is_falsy(&raw) {
         return None;
@@ -241,14 +273,114 @@ pub fn init_from_env(suite: &str) -> Option<TelemetryGuard> {
     } else {
         PathBuf::from(raw)
     };
-    let recorder = Arc::new(MemoryRecorder::new());
-    if install_global(recorder.clone()).is_err() {
-        eprintln!("[telemetry] a global recorder is already installed; VOLTSENSE_TELEMETRY ignored");
-        return None;
-    }
     Some(TelemetryGuard {
-        recorder,
+        recorder: Arc::new(MemoryRecorder::new()),
         suite: suite.to_string(),
         prefix,
     })
+}
+
+/// Handle returned by [`init_always_on`]: owns the flight recorder, the
+/// optional full-detail export capture, and the optional live endpoint.
+pub struct ObservabilityGuard {
+    flight: Arc<FlightRecorder>,
+    /// Declared before `export` so the endpoint stops before the export
+    /// capture is finalized on drop.
+    server: Option<serve::Server>,
+    export: Option<TelemetryGuard>,
+}
+
+impl ObservabilityGuard {
+    /// The always-on flight recorder.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// Bound address of the live endpoint, when one was requested.
+    pub fn server_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(serve::Server::addr)
+    }
+
+    /// Whether a `VOLTSENSE_TELEMETRY` export capture is also active.
+    pub fn exporting(&self) -> bool {
+        self.export.is_some()
+    }
+
+    /// Keep the process (and its endpoint) alive for
+    /// `VOLTSENSE_TELEMETRY_LINGER` seconds so an external scraper can
+    /// collect final metrics. Returns immediately when the knob is unset
+    /// or no endpoint is running; ends early once the file named by
+    /// `VOLTSENSE_TELEMETRY_STOP` appears (CI creates it after scraping).
+    pub fn linger_from_env(&self) {
+        let Some(secs) = env::parse::<f64>("VOLTSENSE_TELEMETRY_LINGER") else {
+            return;
+        };
+        if self.server.is_none() || !(secs > 0.0) {
+            return;
+        }
+        let stop_file = env::value("VOLTSENSE_TELEMETRY_STOP").map(PathBuf::from);
+        eprintln!("[telemetry] lingering up to {secs}s for scrapes");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs_f64(secs);
+        while std::time::Instant::now() < deadline {
+            if stop_file.as_ref().is_some_and(|p| p.exists()) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+    }
+}
+
+/// Always-on observability for long-running processes (DESIGN.md §7):
+///
+/// 1. registers a [`FlightRecorder`] (capacity `VOLTSENSE_FLIGHT_CAPACITY`,
+///    default 4096 events) as the process flight recorder — incident
+///    snapshots ([`incident::report`]) freeze it on demand;
+/// 2. honours `VOLTSENSE_TELEMETRY` exactly like [`init_from_env`]; when
+///    set, signals fan out to *both* the export capture and the flight
+///    recorder, and the export still lands on guard drop;
+/// 3. honours `VOLTSENSE_TELEMETRY_ADDR` (`host:port` or bare port, port 0
+///    for OS-assigned): starts [`serve::serve`] with `GET /metrics`
+///    (Prometheus) and `GET /snapshot` (JSON) rendered live from the
+///    flight recorder.
+///
+/// Unlike diagnostic capture, this needs no environment variable: with
+/// nothing set you still get the bounded-memory recorder and incident
+/// files, at [`Detail::Sampled`] cost.
+pub fn init_always_on(suite: &str) -> ObservabilityGuard {
+    let flight = Arc::new(FlightRecorder::from_env());
+    flight::install(flight.clone());
+    let export = export_guard_from_env(suite);
+    let recorder: Arc<dyn Recorder> = match &export {
+        Some(guard) => Arc::new(recorder::FanoutRecorder::new(vec![
+            guard.recorder.clone() as Arc<dyn Recorder>,
+            flight.clone() as Arc<dyn Recorder>,
+        ])),
+        None => flight.clone(),
+    };
+    if install_global(recorder).is_err() {
+        eprintln!(
+            "[telemetry] a global recorder is already installed; \
+             the always-on flight recorder will receive no signals"
+        );
+    }
+    let server = env::value("VOLTSENSE_TELEMETRY_ADDR").and_then(|addr| {
+        let suite = suite.to_string();
+        let source_flight = flight.clone();
+        let source: serve::SnapshotSource = Arc::new(move || source_flight.snapshot(&suite));
+        match serve::serve(&addr, source) {
+            Ok(server) => {
+                eprintln!("[telemetry] serving /metrics and /snapshot on http://{}", server.addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("[telemetry] cannot serve on {addr}: {e}");
+                None
+            }
+        }
+    });
+    ObservabilityGuard {
+        flight,
+        export,
+        server,
+    }
 }

@@ -1,0 +1,105 @@
+//! Prometheus text exposition (format 0.0.4) rendering of a [`Snapshot`].
+//!
+//! Mapping:
+//!
+//! * counters → `# TYPE <name>_total counter`, one sample per counter;
+//! * gauges → `# TYPE <name> gauge`;
+//! * histograms → Prometheus *summaries*: `<name>{quantile="0.5|0.95|0.99"}`
+//!   rendered straight from the log-scale histogram's quantile estimates,
+//!   plus exact `<name>_sum`, `<name>_count`, and `<name>_min`/`<name>_max`
+//!   gauges (the extremes the log-scale histogram tracks exactly). Each
+//!   quantile sample carries the histogram's unit as a `unit` label.
+//!
+//! Metric names are sanitised to the Prometheus grammar
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*` (every other byte becomes `_`); label values
+//! escape `\`, `"`, and newline per the exposition-format spec. Non-finite
+//! values render as `NaN` / `+Inf` / `-Inf`, which the format allows.
+
+use crate::export::Snapshot;
+
+/// Render `snapshot` in Prometheus text exposition format. The output
+/// always begins with a `# voltsense` comment naming the suite, so even an
+/// empty registry scrapes as a valid, non-empty document.
+pub fn encode(snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("# voltsense telemetry, suite \"");
+    // Comments run to end-of-line; strip anything that would break that.
+    for c in snapshot.suite.chars() {
+        if c != '\n' && c != '\r' {
+            out.push(c);
+        }
+    }
+    out.push_str("\"\n");
+
+    for (name, value) in &snapshot.counters {
+        let name = format!("{}_total", sanitize_name(name));
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize_name(name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt_value(*value)));
+    }
+    for h in &snapshot.histograms {
+        let name = sanitize_name(&h.name);
+        let unit = escape_label_value(&h.unit);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for (q, v) in [(0.5, h.p50), (0.95, h.p95), (0.99, h.p99)] {
+            out.push_str(&format!(
+                "{name}{{quantile=\"{q}\",unit=\"{unit}\"}} {}\n",
+                fmt_value(v)
+            ));
+        }
+        out.push_str(&format!("{name}_sum {}\n", fmt_value(h.mean * h.count as f64)));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+        out.push_str(&format!("# TYPE {name}_min gauge\n{name}_min {}\n", fmt_value(h.min)));
+        out.push_str(&format!("# TYPE {name}_max gauge\n{name}_max {}\n", fmt_value(h.max)));
+    }
+    out
+}
+
+/// Map an arbitrary signal name onto the Prometheus metric-name grammar:
+/// every byte outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit is
+/// prefixed with `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline must be escaped; everything else passes through.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus sample values allow NaN and signed infinities, spelled
+/// exactly `NaN`, `+Inf`, `-Inf`.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}

@@ -18,6 +18,21 @@ impl SpanId {
     pub const NONE: SpanId = SpanId(0);
 }
 
+/// How much signal a recorder wants from instrumentation sites.
+///
+/// Some diagnostics are *expensive to compute* (a full objective
+/// evaluation per solver iteration costs more than the iteration).
+/// Call sites guard those behind [`crate::detailed`], which is only true
+/// for `Full`-detail recorders — an always-on [`crate::FlightRecorder`]
+/// reports `Sampled` and never pays for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Detail {
+    /// Bounded-memory, always-on recording: cheap signals only.
+    Sampled,
+    /// Diagnostic capture: compute everything, keep everything.
+    Full,
+}
+
 /// Sink for telemetry signals. Implementations must be cheap to call and
 /// safe to share across threads; instrumented code never checks which
 /// recorder is installed.
@@ -40,6 +55,10 @@ pub trait Recorder: Send + Sync {
     /// Record a timestamped event with numeric fields (e.g. one solver
     /// iteration with its objective and residual).
     fn event(&self, name: &'static str, fields: &[(&'static str, f64)]);
+    /// How much signal this recorder wants (default: everything).
+    fn detail(&self) -> Detail {
+        Detail::Full
+    }
 }
 
 /// Recorder that drops everything. Every method is an empty inlineable body,
@@ -281,5 +300,89 @@ impl Recorder for MemoryRecorder {
             thread,
             fields: fields.to_vec(),
         });
+    }
+}
+
+/// Forwards every signal to each of a set of child recorders. Used when a
+/// full diagnostic capture (`VOLTSENSE_TELEMETRY`) and the always-on
+/// flight recorder must both observe the same run.
+///
+/// Span handles are translated: `span_begin` opens a span on every child
+/// and hands back one id mapping to the per-child ids.
+pub struct FanoutRecorder {
+    children: Vec<std::sync::Arc<dyn Recorder>>,
+    open: Mutex<BTreeMap<u64, Vec<SpanId>>>,
+    next: std::sync::atomic::AtomicU64,
+}
+
+impl FanoutRecorder {
+    pub fn new(children: Vec<std::sync::Arc<dyn Recorder>>) -> Self {
+        FanoutRecorder {
+            children,
+            open: Mutex::new(BTreeMap::new()),
+            next: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+}
+
+impl Recorder for FanoutRecorder {
+    fn span_begin(&self, name: &'static str) -> SpanId {
+        let ids: Vec<SpanId> = self.children.iter().map(|c| c.span_begin(name)).collect();
+        let id = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.open
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, ids);
+        SpanId(id)
+    }
+
+    fn span_end(&self, id: SpanId) {
+        if id == SpanId::NONE {
+            return;
+        }
+        let ids = self
+            .open
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id.0);
+        if let Some(ids) = ids {
+            for (child, child_id) in self.children.iter().zip(ids) {
+                child.span_end(child_id);
+            }
+        }
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        for c in &self.children {
+            c.counter_add(name, delta);
+        }
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        for c in &self.children {
+            c.gauge_set(name, value);
+        }
+    }
+
+    fn histogram_record(&self, name: &'static str, value: f64, unit: &'static str) {
+        for c in &self.children {
+            c.histogram_record(name, value, unit);
+        }
+    }
+
+    fn event(&self, name: &'static str, fields: &[(&'static str, f64)]) {
+        for c in &self.children {
+            c.event(name, fields);
+        }
+    }
+
+    /// The most demanding child wins: one full-detail child makes the
+    /// whole fanout full-detail.
+    fn detail(&self) -> Detail {
+        self.children
+            .iter()
+            .map(|c| c.detail())
+            .max()
+            .unwrap_or(Detail::Sampled)
     }
 }

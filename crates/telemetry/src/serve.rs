@@ -1,0 +1,149 @@
+//! Zero-dependency live scrape endpoint.
+//!
+//! [`serve`] binds a `std::net::TcpListener` and answers three routes from
+//! a caller-supplied snapshot source, one short-lived connection at a time
+//! (scrapers are the only intended clients):
+//!
+//! * `GET /metrics` — Prometheus text exposition ([`crate::prom::encode`]);
+//! * `GET /snapshot` — the `voltsense-metrics-v1` JSON snapshot;
+//! * `GET /healthz` — `ok` (liveness probe).
+//!
+//! **Security posture**: the server speaks unauthenticated plaintext HTTP
+//! and must not face untrusted networks. A bare port (`VOLTSENSE_TELEMETRY_ADDR=9184`)
+//! therefore binds `127.0.0.1`; exposing it wider requires spelling out an
+//! explicit bind address. Requests are read with a hard timeout and a
+//! bounded header buffer, so a stuck client cannot wedge the serve thread
+//! for long.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::export::Snapshot;
+use crate::prom;
+
+/// Produces the snapshot a scrape observes. Called once per request.
+pub type SnapshotSource = Arc<dyn Fn() -> Snapshot + Send + Sync>;
+
+/// Handle to a running endpoint; the server stops when this is dropped.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// The actual bound address (resolves port 0 to the assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal the serve thread and wait for it to exit.
+    pub fn stop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop with one throwaway connection.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Start serving `source` on `addr`.
+///
+/// `addr` is `host:port` or a bare port (which binds `127.0.0.1`); port 0
+/// picks a free port — read the result from [`Server::addr`]. If
+/// `VOLTSENSE_TELEMETRY_ADDR_FILE` is set, the bound address is also
+/// written there so an out-of-process scraper can discover an
+/// OS-assigned port.
+pub fn serve(addr: &str, source: SnapshotSource) -> std::io::Result<Server> {
+    let addr = if addr.contains(':') {
+        addr.to_string()
+    } else {
+        format!("127.0.0.1:{addr}")
+    };
+    let listener = TcpListener::bind(&addr)?;
+    let addr = listener.local_addr()?;
+    if let Some(path) = crate::env::value("VOLTSENSE_TELEMETRY_ADDR_FILE") {
+        std::fs::write(&path, addr.to_string())?;
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let thread = std::thread::Builder::new()
+        .name("voltsense-telemetry-serve".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    // One scraper at a time; errors only affect that client.
+                    let _ = handle(stream, &source);
+                }
+            }
+        })?;
+    Ok(Server {
+        addr,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+/// Largest request head (request line + headers) we will buffer.
+const MAX_HEAD: usize = 8 * 1024;
+
+fn handle(mut stream: TcpStream, source: &SnapshotSource) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+
+    // Read until the blank line ending the request head (or give up).
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_HEAD {
+            break;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.lines().next().unwrap_or_default().split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain", "only GET is supported\n".to_string())
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                prom::encode(&source()),
+            ),
+            "/snapshot" => ("200 OK", "application/json", source().to_json()),
+            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+            _ => (
+                "404 Not Found",
+                "text/plain",
+                "routes: /metrics /snapshot /healthz\n".to_string(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,234 @@
+//! Property suite pinning the flight recorder's ring-buffer semantics:
+//! bounded capacity, oldest-first eviction, deterministic decimation
+//! bookkeeping, and aggregate exactness against the unsampled
+//! `MemoryRecorder`.
+
+use std::sync::Arc;
+
+use voltsense_telemetry::{
+    flight, incident, Detail, FlightRecorder, MemoryRecorder, Recorder,
+};
+use voltsense_testkit::{forall, u64_range, usize_range, vec_f64};
+
+/// Names used to interleave event streams; `&'static str` as the API requires.
+const NAMES: [&'static str; 3] = ["stream.a", "stream.b", "stream.c"];
+
+#[test]
+fn ring_never_exceeds_capacity_and_evicts_oldest_first() {
+    forall!(cases = 64, (
+        capacity in usize_range(1, 48),
+        pushes in usize_range(0, 400),
+    ) => {
+        let rec = FlightRecorder::new(capacity);
+        for i in 0..pushes {
+            rec.event(NAMES[i % NAMES.len()], &[("i", i as f64)]);
+        }
+        let ring = rec.ring_events();
+        assert!(ring.len() <= capacity, "{} events in a capacity-{capacity} ring", ring.len());
+        // Admission sequence numbers are strictly increasing and the
+        // retained window is exactly the *latest* admitted suffix.
+        for pair in ring.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "out-of-order ring: {:?}", ring);
+        }
+        let admitted: u64 = rec.sampler_stats().iter().map(|(_, s)| s.kept).sum();
+        if let Some(last) = ring.last() {
+            assert_eq!(last.seq + 1, admitted, "ring does not end at the newest admission");
+        }
+        if admitted >= capacity as u64 {
+            assert_eq!(ring.len(), capacity, "ring should be full once admissions exceed capacity");
+        } else {
+            assert_eq!(ring.len(), admitted as usize);
+        }
+    });
+}
+
+#[test]
+fn decimation_is_deterministic_and_only_thins_high_rate_names() {
+    forall!(cases = 48, (
+        capacity in usize_range(1, 64),
+        n in usize_range(0, 600),
+    ) => {
+        let rec = FlightRecorder::new(capacity);
+        for i in 0..n {
+            rec.event("hot.loop", &[("i", i as f64)]);
+        }
+        let stats = rec.sampler_stats();
+        if n == 0 {
+            assert!(stats.is_empty());
+        } else {
+            let (_, s) = stats[0];
+            assert_eq!(s.seen, n as u64);
+            // Every occurrence below the capacity is kept verbatim.
+            if n <= capacity {
+                assert_eq!(s.kept, n as u64, "no decimation below one ring's worth");
+                assert_eq!(s.stride, ((n / capacity) as u64 + 1).next_power_of_two());
+            }
+            // Replaying the same load admits exactly the same events
+            // (timestamps aside — those are wall-clock).
+            let rec2 = FlightRecorder::new(capacity);
+            for i in 0..n {
+                rec2.event("hot.loop", &[("i", i as f64)]);
+            }
+            let key = |e: &voltsense_telemetry::RingEvent| (e.seq, e.name, e.fields.clone());
+            assert_eq!(
+                rec.ring_events().iter().map(key).collect::<Vec<_>>(),
+                rec2.ring_events().iter().map(key).collect::<Vec<_>>()
+            );
+        }
+    });
+}
+
+#[test]
+fn aggregates_match_the_unsampled_memory_recorder_exactly() {
+    forall!(cases = 48, (
+        values in vec_f64(40, 1e-3, 1e6),
+        deltas in vec_f64(20, 0.0, 100.0),
+        capacity in usize_range(1, 8),
+    ) => {
+        // A tiny ring so events are heavily decimated — aggregates must
+        // still be exact because they are never sampled.
+        let fr = FlightRecorder::new(capacity);
+        let mr = MemoryRecorder::new();
+        for v in &values {
+            fr.histogram_record("h", *v, "V");
+            mr.histogram_record("h", *v, "V");
+            fr.event("e", &[("v", *v)]);
+            mr.event("e", &[("v", *v)]);
+        }
+        for d in &deltas {
+            let d = *d as u64;
+            fr.counter_add("c", d);
+            mr.counter_add("c", d);
+        }
+        fr.gauge_set("g", values[0]);
+        mr.gauge_set("g", values[0]);
+
+        let fs = fr.snapshot("flight");
+        let ms = mr.snapshot("memory");
+        assert_eq!(fs.counter("c"), ms.counter("c"));
+        assert_eq!(fs.gauge("g"), ms.gauge("g"));
+        let (fh, mh) = (fs.histogram("h").unwrap(), ms.histogram("h").unwrap());
+        assert_eq!(fh.count, mh.count);
+        assert_eq!(fh.min, mh.min);
+        assert_eq!(fh.max, mh.max);
+        assert_eq!(fh.mean, mh.mean);
+        assert_eq!(fh.p50, mh.p50);
+        assert_eq!(fh.p95, mh.p95);
+        assert_eq!(fh.p99, mh.p99);
+    });
+}
+
+#[test]
+fn span_durations_feed_exact_histograms_without_parent_tracking() {
+    let rec = FlightRecorder::new(4);
+    for _ in 0..10 {
+        let id = rec.span_begin("work");
+        rec.span_end(id);
+    }
+    let snap = rec.snapshot("spans");
+    let h = snap.histogram("work").expect("span duration histogram");
+    assert_eq!(h.count, 10, "every span close lands in the histogram");
+    assert!(snap.spans.is_empty(), "flight recorder keeps no span records");
+    // Closing an unknown or NONE id is a no-op, not a panic.
+    rec.span_end(voltsense_telemetry::SpanId::NONE);
+    rec.span_end(voltsense_telemetry::SpanId(9999));
+}
+
+#[test]
+fn flight_recorder_reports_sampled_detail() {
+    let rec = Arc::new(FlightRecorder::new(16));
+    assert_eq!(rec.detail(), Detail::Sampled);
+    voltsense_telemetry::with_scoped(rec.clone(), || {
+        assert!(voltsense_telemetry::enabled());
+        assert!(
+            !voltsense_telemetry::detailed(),
+            "expensive diagnostics must stay off under the flight recorder"
+        );
+    });
+    let mem: Arc<MemoryRecorder> = Arc::new(MemoryRecorder::new());
+    voltsense_telemetry::with_scoped(mem, || {
+        assert!(voltsense_telemetry::detailed());
+    });
+}
+
+#[test]
+fn incident_write_freezes_ring_and_metrics() {
+    forall!(cases = 16, (
+        capacity in usize_range(1, 32),
+        n in usize_range(1, 120),
+        failed in usize_range(0, 5),
+        seed in u64_range(0, 1 << 20),
+    ) => {
+        let rec = Arc::new(FlightRecorder::new(capacity));
+        for i in 0..n {
+            rec.event("monitor.observe", &[("sample", i as f64)]);
+            rec.counter_add("monitor.alarm_events", 1);
+            rec.histogram_record("latency", (seed % 97 + i as u64) as f64, "steps");
+        }
+        let failed_sensors: Vec<usize> = (0..failed).collect();
+        let dir = std::env::temp_dir().join(format!("voltsense_incident_{seed}_{capacity}_{n}"));
+        let path = incident::write(
+            &incident::Incident {
+                kind: "alarm",
+                fields: &[("predicted_min", 0.83), ("threshold", 0.85)],
+                failed_sensors: &failed_sensors,
+                gated_sensors: &[],
+            },
+            &rec,
+            &dir,
+        )
+        .expect("incident write");
+        let text = std::fs::read_to_string(&path).expect("read incident back");
+        let doc = voltsense_telemetry::json::parse(&text).expect("incident JSON parses");
+        let _ = std::fs::remove_dir_all(&dir);
+        use voltsense_telemetry::json::Value;
+        assert_eq!(doc.get("schema").and_then(Value::as_str), Some("voltsense-incident-v1"));
+        assert_eq!(doc.get("kind").and_then(Value::as_str), Some("alarm"));
+        let ring = doc.get("ring").and_then(Value::as_array).expect("ring array");
+        assert_eq!(ring.len(), rec.ring_events().len(), "ring serialized in full");
+        assert!(ring.len() <= capacity);
+        let failed_out = doc.get("failed_sensors").and_then(Value::as_array).unwrap();
+        assert_eq!(failed_out.len(), failed);
+        let metrics = doc.get("metrics").expect("embedded metrics snapshot");
+        assert_eq!(
+            metrics.get("schema").and_then(Value::as_str),
+            Some("voltsense-metrics-v1")
+        );
+        assert_eq!(
+            metrics.get("metrics").and_then(Value::as_array).map(<[Value]>::len),
+            Some(2),
+            "embedded snapshot carries exactly the counter and the histogram"
+        );
+    });
+}
+
+#[test]
+fn report_is_a_noop_without_a_registered_flight_recorder_and_capped_with_one() {
+    // This test owns the process-global flight registry and the incident
+    // env knobs; it is the only test in this binary that touches them.
+    incident::reset_caps();
+    let dir = std::env::temp_dir().join("voltsense_incident_cap_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("VOLTSENSE_INCIDENT_DIR", &dir);
+    std::env::set_var("VOLTSENSE_INCIDENT_MAX", "3");
+
+    // No registered recorder yet: report must decline without writing.
+    assert!(flight::current().is_none(), "another test installed a flight recorder");
+    assert!(incident::report(&incident::Incident::new("cap_test")).is_none());
+    assert!(!dir.exists(), "a declined report must not create the incident dir");
+
+    flight::install(Arc::new(FlightRecorder::new(8)));
+    let incident = incident::Incident::new("cap_test");
+    let mut written = 0;
+    for _ in 0..10 {
+        if incident::report(&incident).is_some() {
+            written += 1;
+        }
+    }
+    assert_eq!(written, 3, "per-kind cap must bound incident files");
+    let files = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(files, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::remove_var("VOLTSENSE_INCIDENT_DIR");
+    std::env::remove_var("VOLTSENSE_INCIDENT_MAX");
+}

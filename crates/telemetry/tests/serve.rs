@@ -1,0 +1,107 @@
+//! Live endpoint round-trip: bind `telemetry::serve` on an OS-assigned
+//! port, scrape it over a real `TcpStream`, and check every route.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use voltsense_telemetry::json::{self, Value};
+use voltsense_telemetry::serve::{serve, SnapshotSource};
+use voltsense_telemetry::{FlightRecorder, Recorder};
+
+/// One HTTP request against the server; returns (status line, headers, body).
+fn request(addr: std::net::SocketAddr, head: &str) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(head.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header terminator");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_string(), headers.to_string(), body.to_string())
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (String, String, String) {
+    request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"))
+}
+
+#[test]
+fn endpoint_serves_metrics_snapshot_and_healthz() {
+    let rec = Arc::new(FlightRecorder::new(64));
+    rec.counter_add("scrapes.seen", 2);
+    rec.gauge_set("monitor.alarm_active", 0.0);
+    rec.histogram_record("observe", 4.2, "us");
+    rec.event("monitor.observe", &[("sample", 1.0)]);
+    let source_rec = rec.clone();
+    let source: SnapshotSource = Arc::new(move || source_rec.snapshot("serve_test"));
+    // Port 0: the OS assigns; Server::addr reports what was bound.
+    let mut server = serve("127.0.0.1:0", source).expect("bind");
+    let addr = server.addr();
+    assert_eq!(addr.ip().to_string(), "127.0.0.1");
+    assert_ne!(addr.port(), 0);
+
+    // --- /metrics -----------------------------------------------------
+    let (status, headers, body) = get(addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(
+        headers.contains("text/plain; version=0.0.4"),
+        "exposition content type, got: {headers}"
+    );
+    assert!(body.contains("# TYPE scrapes_seen_total counter"));
+    assert!(body.contains("scrapes_seen_total 2"));
+    assert!(body.contains("monitor_alarm_active 0"));
+    assert!(body.contains("observe{quantile=\"0.5\",unit=\"us\"}"));
+
+    // --- /snapshot (rendered live: mutate between scrapes) ------------
+    rec.counter_add("scrapes.seen", 1);
+    let (status, headers, body) = get(addr, "/snapshot");
+    assert!(status.contains("200"), "{status}");
+    assert!(headers.contains("application/json"));
+    let doc = json::parse(&body).expect("snapshot parses");
+    assert_eq!(doc.get("schema").and_then(Value::as_str), Some("voltsense-metrics-v1"));
+    assert_eq!(doc.get("suite").and_then(Value::as_str), Some("serve_test"));
+    let metrics = doc.get("metrics").and_then(Value::as_array).unwrap();
+    let counter = metrics
+        .iter()
+        .find(|m| m.get("name").and_then(Value::as_str) == Some("scrapes.seen"))
+        .expect("counter in snapshot");
+    assert_eq!(counter.get("value").and_then(Value::as_f64), Some(3.0), "snapshot is live");
+    assert_eq!(
+        doc.get("events").and_then(Value::as_array).map(<[Value]>::len),
+        Some(1),
+        "ring event present"
+    );
+
+    // --- /healthz, 404, 405 -------------------------------------------
+    let (status, _, body) = get(addr, "/healthz");
+    assert!(status.contains("200"));
+    assert_eq!(body, "ok\n");
+    let (status, _, _) = get(addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+    let (status, _, _) = request(addr, "POST /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    assert!(status.contains("405"), "{status}");
+
+    // --- shutdown ------------------------------------------------------
+    server.stop();
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err()
+            || TcpStream::connect(addr)
+                .and_then(|mut s| {
+                    s.set_read_timeout(Some(Duration::from_millis(500)))?;
+                    s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n")?;
+                    let mut out = String::new();
+                    s.read_to_string(&mut out).map(|_| out)
+                })
+                .map_or(true, |out| out.is_empty()),
+        "stopped server must not answer"
+    );
+}
+
+#[test]
+fn bare_port_binds_loopback() {
+    let source: SnapshotSource = Arc::new(|| FlightRecorder::new(1).snapshot("loopback"));
+    // Bare "0": loopback by default — the documented security posture.
+    let server = serve("0", source).expect("bind");
+    assert!(server.addr().ip().is_loopback());
+}

@@ -13,9 +13,12 @@ use voltsense::faults::{FaultEvent, FaultInjector, FaultKind, FaultSchedule};
 use voltsense::scenario::Scenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // With VOLTSENSE_TELEMETRY set, the guard exports a metrics snapshot
-    // and a Chrome trace of this run when it drops (see README).
-    let _telemetry = voltsense::telemetry::init_from_env("emergency_monitor");
+    // Always-on observability (DESIGN.md §7): a flight recorder runs for
+    // the whole process and freezes into incident files when a monitor
+    // trips. VOLTSENSE_TELEMETRY additionally exports a full snapshot +
+    // Chrome trace on drop; VOLTSENSE_TELEMETRY_ADDR serves live
+    // /metrics and /snapshot scrapes (see README).
+    let telemetry = voltsense::telemetry::init_always_on("emergency_monitor");
     let scenario = Scenario::small()?;
 
     // Train on four benchmarks; monitor a *different* one (x264, the most
@@ -137,6 +140,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nthe fault-aware monitor flagged the stuck sensor and hot-swapped to \
          the leave-it-out model; the naive monitor trusted it."
     );
+
+    // Hold the endpoint open for external scrapers when CI (or a human)
+    // asked for it; a no-op unless VOLTSENSE_TELEMETRY_LINGER is set.
+    telemetry.linger_from_env();
     Ok(())
 }
 
