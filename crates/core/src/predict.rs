@@ -2,6 +2,7 @@ use std::collections::BTreeMap;
 
 use voltsense_linalg::lstsq::{self, LinearFit};
 use voltsense_linalg::{vec_ops, Matrix};
+use voltsense_parallel as parallel;
 use voltsense_telemetry as telemetry;
 
 use crate::selection::SelectionResult;
@@ -253,8 +254,11 @@ impl CrossFamily {
     fn fit(x_sel: &Matrix, sensors: &[usize]) -> Result<Self, CoreError> {
         debug_assert!(sensors.len() >= 2, "caller guarantees two survivors");
         let n = sensors.len();
-        let mut fits = Vec::with_capacity(n);
-        for (local, &s) in sensors.iter().enumerate() {
+        // Each cross-model is an independent OLS problem on the same
+        // training matrix, so the per-sensor fits fan out; the ordered
+        // collect keeps the first error deterministic.
+        let locals: Vec<usize> = (0..n).collect();
+        let fits = parallel::par_map(&locals, |&local| -> Result<(LinearFit, f64), CoreError> {
             let others: Vec<usize> = sensors
                 .iter()
                 .enumerate()
@@ -262,11 +266,13 @@ impl CrossFamily {
                 .map(|(_, &j)| j)
                 .collect();
             let x_others = x_sel.select_rows(&others);
-            let target = x_sel.select_rows(&[s]);
+            let target = x_sel.select_rows(&[sensors[local]]);
             let fit = lstsq::ols_with_intercept(&x_others, &target)?;
             let rms = fit.rms_residual;
-            fits.push((fit, rms));
-        }
+            Ok((fit, rms))
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
         let mut signatures = Vec::with_capacity(n);
         for k in 0..n {
             let mut sig = vec![0.0; n];
@@ -377,11 +383,17 @@ impl FaultTolerantModel {
         let mut fallbacks = Vec::new();
         let mut cross_families = BTreeMap::new();
         if q > 1 {
-            for i in 0..q {
+            // The Q leave-one-out fallback fits are independent OLS solves
+            // on row subsets of the same training data — fan them out and
+            // stitch the results back in exclusion order.
+            let exclusions: Vec<usize> = (0..q).collect();
+            fallbacks = parallel::par_map(&exclusions, |&i| -> Result<LinearFit, CoreError> {
                 let others: Vec<usize> = (0..q).filter(|&j| j != i).collect();
                 let x_others = x_sel.select_rows(&others);
-                fallbacks.push(lstsq::ols_with_intercept(&x_others, f)?);
-            }
+                Ok(lstsq::ols_with_intercept(&x_others, f)?)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
             telemetry::counter("core.fallback_fits", q as u64);
             let all: Vec<usize> = (0..q).collect();
             cross_families.insert(Vec::new(), CrossFamily::fit(&x_sel, &all)?);

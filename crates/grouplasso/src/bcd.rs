@@ -155,10 +155,15 @@ pub fn solve_penalized(
         for m in 0..m_count {
             let smm = s[(m, m)];
             // c_m = Q[:,m] − (βS)[:,m] + β_m S_mm  (partial residual corr.)
+            // Strided column iterators avoid re-deriving the flat offset
+            // per entry and allocate nothing.
             let mut c_norm_sq = 0.0;
-            for k in 0..k_count {
-                let c = q[(k, m)] - grad[(k, m)] + beta[(k, m)] * smm;
-                delta[k] = c;
+            for (d, ((qv, gv), bv)) in delta
+                .iter_mut()
+                .zip(q.col_iter(m).zip(grad.col_iter(m)).zip(beta.col_iter(m)))
+            {
+                let c = qv - gv + bv * smm;
+                *d = c;
                 c_norm_sq += c * c;
             }
             let c_norm = c_norm_sq.sqrt();
@@ -171,15 +176,14 @@ pub fn solve_penalized(
             // KKT violation of this group *before* its update: the update
             // drives it to zero, so measuring pre-update violations over a
             // full sweep bounds the solution quality.
-            let bnorm_old: f64 = (0..k_count)
-                .map(|k| beta[(k, m)] * beta[(k, m)])
-                .sum::<f64>()
-                .sqrt();
+            let bnorm_old: f64 = beta.col_iter(m).map(|b| b * b).sum::<f64>().sqrt();
             let violation = if bnorm_old > 0.0 {
                 // r_m + μ β_m/‖β_m‖ where r_m = (βS − Q)[:,m]
                 let mut acc = 0.0;
-                for k in 0..k_count {
-                    let r = grad[(k, m)] - q[(k, m)] + mu * beta[(k, m)] / bnorm_old;
+                for ((gv, qv), bv) in
+                    grad.col_iter(m).zip(q.col_iter(m)).zip(beta.col_iter(m))
+                {
+                    let r = gv - qv + mu * bv / bnorm_old;
                     acc += r * r;
                 }
                 acc.sqrt()
@@ -206,8 +210,8 @@ pub fn solve_penalized(
                         continue;
                     }
                     let grow = grad.row_mut(k);
-                    for (g, j) in grow.iter_mut().zip(0..m_count) {
-                        *g += d * s[(m, j)];
+                    for (g, &smj) in grow.iter_mut().zip(s.row(m)) {
+                        *g += d * smj;
                     }
                 }
             }

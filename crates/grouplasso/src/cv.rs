@@ -8,6 +8,7 @@
 //! penalty within one standard error of it, the usual "1-SE rule").
 
 use voltsense_linalg::Matrix;
+use voltsense_parallel as parallel;
 
 use crate::bcd::GlOptions;
 use crate::problem::GlProblem;
@@ -104,8 +105,12 @@ pub fn cross_validate(
     let mut order: Vec<usize> = (0..mus.len()).collect();
     order.sort_by(|&a, &b| mus[b].total_cmp(&mus[a]));
 
-    let mut fold_errors = vec![vec![0.0f64; folds]; mus.len()];
-    for fold in 0..folds {
+    // Folds are independent fit/validate problems, so they evaluate in
+    // parallel; each fold's λ sweep stays serial (warm starts chain from
+    // larger to smaller penalties). Every fold computes the same numbers
+    // at any thread count, so CV stays deterministic.
+    let fold_ids: Vec<usize> = (0..folds).collect();
+    let per_fold = parallel::par_map(&fold_ids, |&fold| -> Result<Vec<f64>, GroupLassoError> {
         let train_idx: Vec<usize> = (0..n).filter(|s| s % folds != fold).collect();
         let val_idx: Vec<usize> = (0..n).filter(|s| s % folds == fold).collect();
         let z_train = z.select_cols(&train_idx);
@@ -113,14 +118,21 @@ pub fn cross_validate(
         let z_val = z.select_cols(&val_idx);
         let g_val = g.select_cols(&val_idx);
         let problem = GlProblem::from_data(&z_train, &g_train)?;
+        let mut errors = vec![0.0f64; mus.len()];
         let mut warm = None;
         for &mi in &order {
             let sol = solve_penalized(&problem, mus[mi], options, warm.as_ref())?;
             let pred = sol.beta.matmul(&z_val)?;
             let resid = &g_val - &pred;
-            fold_errors[mi][fold] =
-                resid.frobenius_norm().powi(2) / val_idx.len().max(1) as f64;
+            errors[mi] = resid.frobenius_norm().powi(2) / val_idx.len().max(1) as f64;
             warm = Some(sol.beta);
+        }
+        Ok(errors)
+    });
+    let mut fold_errors = vec![vec![0.0f64; folds]; mus.len()];
+    for (fold, result) in per_fold.into_iter().enumerate() {
+        for (mi, err) in result?.into_iter().enumerate() {
+            fold_errors[mi][fold] = err;
         }
     }
 

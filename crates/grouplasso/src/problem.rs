@@ -191,13 +191,7 @@ impl GlProblem {
 
 /// l2 norm of column `m` of a matrix.
 pub(crate) fn column_norm(m: &Matrix, col: usize) -> f64 {
-    (0..m.rows())
-        .map(|i| {
-            let v = m[(i, col)];
-            v * v
-        })
-        .sum::<f64>()
-        .sqrt()
+    m.col_iter(col).map(|v| v * v).sum::<f64>().sqrt()
 }
 
 #[cfg(test)]

@@ -134,8 +134,10 @@ impl Cholesky {
             });
         }
         let mut out = Matrix::zeros(n, b.cols());
+        let mut rhs = Vec::with_capacity(n);
         for j in 0..b.cols() {
-            let x = self.solve(&b.col(j))?;
+            b.col_into(j, &mut rhs);
+            let x = self.solve(&rhs)?;
             out.set_col(j, &x);
         }
         Ok(out)

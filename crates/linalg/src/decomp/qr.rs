@@ -200,8 +200,10 @@ impl Qr {
             });
         }
         let mut out = Matrix::zeros(self.n, b.cols());
+        let mut rhs = Vec::with_capacity(b.rows());
         for j in 0..b.cols() {
-            let x = self.solve_least_squares(&b.col(j))?;
+            b.col_into(j, &mut rhs);
+            let x = self.solve_least_squares(&rhs)?;
             out.set_col(j, &x);
         }
         Ok(out)

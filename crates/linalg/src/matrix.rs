@@ -1,7 +1,22 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+use std::sync::Mutex;
+
+use voltsense_parallel as parallel;
 
 use crate::LinalgError;
+
+/// k-dimension block size for the cache-blocked matmul: a block of `rhs`
+/// rows stays resident in cache while a row partition sweeps over it.
+const MATMUL_K_BLOCK: usize = 64;
+
+/// Minimum fused multiply-adds a parallel task must amortize before a
+/// compute-bound kernel fans out; below this, dispatch overhead dominates.
+const PAR_TASK_FLOPS: usize = 1 << 18;
+
+/// Minimum elements moved per parallel task for memory-bound kernels
+/// (transpose, row gathers).
+const PAR_TASK_ELEMS: usize = 1 << 16;
 
 /// A dense, row-major, `f64` matrix.
 ///
@@ -198,12 +213,42 @@ impl Matrix {
 
     /// Copies column `j` into a new `Vec`.
     ///
+    /// Hot loops should prefer [`Matrix::col_iter`] or
+    /// [`Matrix::col_into`], which do not allocate per call.
+    ///
     /// # Panics
     ///
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
+        self.col_iter(j).collect()
+    }
+
+    /// Iterates over column `j` (a strided walk of the row-major storage)
+    /// without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
         assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        self.data
+            .iter()
+            .skip(j)
+            .step_by(self.cols)
+            .take(self.rows)
+            .copied()
+    }
+
+    /// Copies column `j` into `buf`, replacing its contents. Lets hot
+    /// loops reuse one buffer across columns instead of allocating a
+    /// fresh `Vec` per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col_into(&self, j: usize, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend(self.col_iter(j));
     }
 
     /// Sets column `j` from a slice.
@@ -226,10 +271,18 @@ impl Matrix {
     ///
     /// Panics if any index is out of bounds.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
-        for (r, &i) in indices.iter().enumerate() {
-            out.row_mut(r).copy_from_slice(self.row(i));
+        // Validate up front so an out-of-bounds index panics identically
+        // whether the gather below runs serially or fanned out.
+        for &i in indices {
+            assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
         }
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        let min_rows = PAR_TASK_ELEMS.div_ceil(self.cols.max(1));
+        parallel::for_each_row_block(&mut out.data, self.cols, min_rows, |first, block| {
+            for (local, orow) in block.chunks_mut(self.cols).enumerate() {
+                orow.copy_from_slice(self.row(indices[first + local]));
+            }
+        });
         out
     }
 
@@ -249,19 +302,35 @@ impl Matrix {
     }
 
     /// Returns the transpose.
+    ///
+    /// Partitioned over output rows (source columns); each output row is
+    /// written by exactly one task, so the result is bit-identical at any
+    /// thread count.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[(j, i)] = self[(i, j)];
+        let min_rows = PAR_TASK_ELEMS.div_ceil(self.rows.max(1));
+        parallel::for_each_row_block(&mut out.data, self.rows, min_rows, |first, block| {
+            for (local, orow) in block.chunks_mut(self.rows).enumerate() {
+                let j = first + local;
+                for (i, o) in orow.iter_mut().enumerate() {
+                    *o = self.data[i * self.cols + j];
+                }
             }
-        }
+        });
         out
     }
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses a cache-friendly i-k-j loop order.
+    /// Cache-blocked i-k-j: output rows are partitioned across tasks, and
+    /// within each partition a [`MATMUL_K_BLOCK`]-row block of `rhs` is
+    /// swept across every partition row while it is hot in cache. For each
+    /// output entry the k-accumulation order stays strictly ascending, so
+    /// blocking and row partitioning leave the result bit-identical to the
+    /// naive serial i-k-j loop at any thread count.
+    ///
+    /// Zero `self` entries are *not* skipped: IEEE-754 requires `0 · NaN`
+    /// and `0 · ∞` to contaminate the sum.
     ///
     /// # Errors
     ///
@@ -276,12 +345,42 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let n = rhs.cols;
+        let min_rows = PAR_TASK_FLOPS.div_ceil((self.cols * n).max(1));
+        parallel::for_each_row_block(&mut out.data, n, min_rows, |first, block| {
+            for kb in (0..self.cols).step_by(MATMUL_K_BLOCK) {
+                let kend = (kb + MATMUL_K_BLOCK).min(self.cols);
+                for (local, orow) in block.chunks_mut(n).enumerate() {
+                    let arow = self.row(first + local);
+                    for k in kb..kend {
+                        let aik = arow[k];
+                        let rrow = rhs.row(k);
+                        for (o, &r) in orow.iter_mut().zip(rrow) {
+                            *o += aik * r;
+                        }
+                    }
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    /// Like [`Matrix::matmul`] but with the plain serial i-k-j loop —
+    /// the oracle the property tests compare the blocked parallel kernel
+    /// against, and a fallback for callers that must not touch the pool.
+    #[doc(hidden)]
+    pub fn matmul_serial(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
-                }
                 let rrow = rhs.row(k);
                 let orow = out.row_mut(i);
                 for (o, &r) in orow.iter_mut().zip(rrow) {
@@ -294,19 +393,58 @@ impl Matrix {
 
     /// Computes `self * selfᵀ` (a symmetric `rows x rows` Gram matrix)
     /// without materializing the transpose.
+    ///
+    /// Only the upper triangle is computed; the lower is mirrored. In the
+    /// parallel path task `c` owns the *strided* row set `c, c+P, c+2P, …`
+    /// — upper-triangle row `i` holds `n - i` dots, so striding balances
+    /// the shrinking rows across tasks where contiguous blocks would not.
+    /// Each dot keeps its serial summation order, so the result is
+    /// bit-identical at any thread count.
     pub fn gram(&self) -> Matrix {
         let n = self.rows;
         let mut out = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in i..n {
-                let s: f64 = self
-                    .row(i)
-                    .iter()
-                    .zip(self.row(j))
-                    .map(|(a, b)| a * b)
-                    .sum();
-                out[(i, j)] = s;
-                out[(j, i)] = s;
+        let total_flops = n * (n + 1) / 2 * self.cols;
+        let parts = parallel::current_threads().min((total_flops / PAR_TASK_FLOPS).max(1));
+        if parts <= 1 {
+            for i in 0..n {
+                for j in i..n {
+                    let s: f64 = self
+                        .row(i)
+                        .iter()
+                        .zip(self.row(j))
+                        .map(|(a, b)| a * b)
+                        .sum();
+                    out[(i, j)] = s;
+                    out[(j, i)] = s;
+                }
+            }
+            return out;
+        }
+        {
+            let mut slots: Vec<Mutex<Option<&mut [f64]>>> = Vec::with_capacity(n);
+            let mut rest = out.data.as_mut_slice();
+            for _ in 0..n {
+                let (head, tail) = rest.split_at_mut(n);
+                slots.push(Mutex::new(Some(head)));
+                rest = tail;
+            }
+            parallel::run(parts, |c| {
+                for i in (c..n).step_by(parts) {
+                    let row_out = slots[i]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("each gram row is owned by exactly one task");
+                    let ri = self.row(i);
+                    for j in i..n {
+                        row_out[j] = ri.iter().zip(self.row(j)).map(|(a, b)| a * b).sum();
+                    }
+                }
+            });
+        }
+        for i in 1..n {
+            for j in 0..i {
+                out[(i, j)] = out[(j, i)];
             }
         }
         out
@@ -325,9 +463,14 @@ impl Matrix {
                 right: (v.len(), 1),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        let mut out = vec![0.0; self.rows];
+        let min_rows = PAR_TASK_FLOPS.div_ceil(self.cols.max(1));
+        parallel::for_each_row_block(&mut out, 1, min_rows, |first, block| {
+            for (local, o) in block.iter_mut().enumerate() {
+                *o = self.row(first + local).iter().zip(v).map(|(a, b)| a * b).sum();
+            }
+        });
+        Ok(out)
     }
 
     /// Entry-wise map, returning a new matrix.
@@ -642,6 +785,31 @@ mod tests {
         let m = sample();
         let err = m.matmul(&m).unwrap_err();
         assert!(matches!(err, LinalgError::ShapeMismatch { op: "matmul", .. }));
+    }
+
+    #[test]
+    fn matmul_propagates_non_finite_through_zero_entries() {
+        // IEEE-754: 0 · NaN = NaN and 0 · ∞ = NaN, so non-finite values in
+        // `rhs` must contaminate the product even where `self` is zero. A
+        // shortcut skipping zero lhs entries silently drops them.
+        let a = Matrix::from_rows(&[&[0.0, 1.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[f64::NAN, f64::INFINITY], &[1.0, 2.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(c[(0, 0)].is_nan(), "0·NaN must propagate, got {}", c[(0, 0)]);
+        assert!(c[(0, 1)].is_nan(), "0·∞ must propagate, got {}", c[(0, 1)]);
+        let s = a.matmul_serial(&b).unwrap();
+        assert!(s[(0, 0)].is_nan() && s[(0, 1)].is_nan());
+    }
+
+    #[test]
+    fn col_iter_and_col_into_match_col() {
+        let m = sample();
+        for j in 0..m.cols() {
+            assert_eq!(m.col_iter(j).collect::<Vec<_>>(), m.col(j));
+            let mut buf = vec![999.0; 7];
+            m.col_into(j, &mut buf);
+            assert_eq!(buf, m.col(j));
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use voltsense_linalg::decomp::{Cholesky, Lu, Qr};
 use voltsense_linalg::stats::Normalizer;
-use voltsense_linalg::{lstsq, Matrix};
+use voltsense_linalg::lstsq;
 use voltsense_testkit::{forall, matrix, spd, vec_f64};
 
 #[test]

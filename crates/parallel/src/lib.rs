@@ -1,0 +1,241 @@
+//! # voltsense-parallel
+//!
+//! The workspace's in-tree data-parallel runtime: a scoped `std::thread`
+//! pool with **deterministic static chunking**, built without external
+//! dependencies (DESIGN.md §3 — no rayon).
+//!
+//! ## Determinism contract
+//!
+//! Every primitive here partitions work by *index*, never by arrival
+//! order: [`chunk_ranges`] computes the same contiguous chunk boundaries
+//! for a given `(len, parts)` on every run, and each chunk owns a disjoint
+//! slice of the output. Which worker thread executes which chunk is
+//! scheduling-dependent, but since chunks never share output and each
+//! chunk performs its accumulations in the same order as serial code, the
+//! result is **bit-identical** across thread counts (DESIGN.md §8). The
+//! linalg kernels and every parallel region in the upper layers are built
+//! on this invariant, and property tests pin it.
+//!
+//! ## Configuration
+//!
+//! The global pool (used by [`par_map`], [`for_each_chunk`],
+//! [`for_each_row_block`], [`run`]) sizes itself from `VOLTSENSE_THREADS`
+//! (parsed by [`voltsense_telemetry::env`]), defaulting to
+//! `std::thread::available_parallelism()`. `VOLTSENSE_THREADS=1`
+//! short-circuits every primitive to inline execution — no worker thread
+//! is ever spawned and no synchronization is paid. [`with_threads`]
+//! overrides the parallelism for the current thread for the duration of a
+//! closure (benchmarks and property tests use it to sweep thread counts
+//! in-process; it may exceed the configured default, growing the pool).
+//!
+//! ## Nesting and panics
+//!
+//! A parallel primitive invoked *from inside an executing chunk* — on a
+//! pool worker or on the submitting thread while it works its own batch —
+//! runs inline, so nested parallel regions never deadlock and never
+//! oversubscribe. A panic in
+//! any chunk is caught, the batch is drained, and the first panic payload
+//! is re-raised on the submitting thread.
+//!
+//! Telemetry: the pool exports `parallel.pool_size` (gauge),
+//! `parallel.batches`, `parallel.tasks`, `parallel.caller_tasks`,
+//! `parallel.worker_tasks` and `parallel.inline_batches` (counters). A
+//! thread-scoped telemetry capture active on the submitting thread is
+//! propagated into the workers for the duration of each batch.
+
+mod pool;
+
+pub use pool::ThreadPool;
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+use voltsense_telemetry as telemetry;
+
+/// Hard cap on pool parallelism — a backstop against a typo'd
+/// `VOLTSENSE_THREADS=400`, far above any machine this targets.
+pub const MAX_THREADS: usize = 64;
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+pub(crate) fn set_in_worker(v: bool) {
+    IN_WORKER.with(|w| w.set(v));
+}
+
+/// `true` on a pool worker thread — parallel primitives called there run
+/// inline (nested regions neither deadlock nor oversubscribe).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// The parallelism configured for the process: `VOLTSENSE_THREADS` if set
+/// to a positive integer, else `available_parallelism()`, clamped to
+/// [`MAX_THREADS`].
+pub fn configured_threads() -> usize {
+    telemetry::env::parse::<usize>("VOLTSENSE_THREADS")
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .min(MAX_THREADS)
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The process-global pool, created on first use with
+/// [`configured_threads`] parallelism. Workers are spawned lazily, so a
+/// `VOLTSENSE_THREADS=1` process never creates a thread.
+pub fn pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        let threads = configured_threads();
+        telemetry::gauge("parallel.pool_size", threads as f64);
+        ThreadPool::new(threads)
+    })
+}
+
+/// The parallelism parallel primitives will use *right now* on this
+/// thread: 1 on a pool worker, else the [`with_threads`] override, else
+/// the configured default.
+pub fn current_threads() -> usize {
+    if in_worker() {
+        return 1;
+    }
+    override_or(pool().default_threads())
+}
+
+/// The [`with_threads`] override if one is active on this thread, else
+/// `default`, clamped to `1..=`[`MAX_THREADS`].
+pub(crate) fn override_or(default: usize) -> usize {
+    OVERRIDE
+        .with(|o| o.get())
+        .unwrap_or(default)
+        .clamp(1, MAX_THREADS)
+}
+
+/// Runs `f` with the current thread's parallelism overridden to
+/// `threads`. May exceed the configured default (the pool grows lazily);
+/// `1` forces fully inline execution. Restores the previous override even
+/// if `f` panics.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|o| o.replace(Some(threads.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Deterministic static chunking: splits `0..len` into at most `parts`
+/// contiguous, non-empty ranges whose lengths differ by at most one (the
+/// first `len % parts` chunks are one longer). Depends only on
+/// `(len, parts)` — never on thread scheduling.
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Runs `task(i)` for every `i in 0..chunks` on the global pool,
+/// blocking until all complete. See [`ThreadPool::run`].
+pub fn run(chunks: usize, task: impl Fn(usize) + Sync) {
+    pool().run(chunks, &task);
+}
+
+/// Partitions `0..len` into contiguous chunks of at least `min_chunk`
+/// indices and runs `f(range)` for each on the global pool. See
+/// [`ThreadPool::for_each_chunk`].
+pub fn for_each_chunk(len: usize, min_chunk: usize, f: impl Fn(Range<usize>) + Sync) {
+    pool().for_each_chunk(len, min_chunk, f);
+}
+
+/// Maps `f` over `items` on the global pool, preserving order. See
+/// [`ThreadPool::par_map`].
+pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    pool().par_map(items, f)
+}
+
+/// Splits a row-major `data` buffer (rows of `width` items) into
+/// contiguous row blocks of at least `min_rows` rows and runs
+/// `f(first_row, block)` for each on the global pool. See
+/// [`ThreadPool::for_each_row_block`].
+pub fn for_each_row_block<T: Send>(
+    data: &mut [T],
+    width: usize,
+    min_rows: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    pool().for_each_row_block(data, width, min_rows, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for len in [0usize, 1, 2, 3, 7, 64, 65, 1000] {
+            for parts in [1usize, 2, 3, 4, 7, 64] {
+                let ranges = chunk_ranges(len, parts);
+                let mut seen = vec![false; len];
+                for r in &ranges {
+                    assert!(!r.is_empty(), "empty chunk for len={len} parts={parts}");
+                    for i in r.clone() {
+                        assert!(!seen[i], "index {i} covered twice");
+                        seen[i] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "len={len} parts={parts} missed an index");
+                if len > 0 {
+                    assert!(ranges.len() <= parts.min(len));
+                    let min = ranges.iter().map(ExactSizeIterator::len).min().unwrap();
+                    let max = ranges.iter().map(ExactSizeIterator::len).max().unwrap();
+                    assert!(max - min <= 1, "unbalanced: {ranges:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_deterministic() {
+        assert_eq!(chunk_ranges(10, 4), chunk_ranges(10, 4));
+        assert_eq!(chunk_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let before = OVERRIDE.with(|o| o.get());
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(3, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(OVERRIDE.with(|o| o.get()), before);
+    }
+
+    #[test]
+    fn configured_threads_positive_and_capped() {
+        let n = configured_threads();
+        assert!(n >= 1 && n <= MAX_THREADS);
+    }
+}

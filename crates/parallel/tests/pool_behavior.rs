@@ -1,0 +1,177 @@
+//! Behavioral contract of the thread pool: panic propagation, inline
+//! fallback at parallelism 1, order preservation, nested-region safety.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use voltsense_parallel as parallel;
+use voltsense_parallel::ThreadPool;
+
+#[test]
+fn par_map_preserves_input_order() {
+    for threads in [1usize, 2, 4, 7] {
+        parallel::with_threads(threads, || {
+            let items: Vec<usize> = (0..103).collect();
+            let out = parallel::par_map(&items, |&x| x * x);
+            let expect: Vec<usize> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        });
+    }
+}
+
+#[test]
+fn for_each_chunk_covers_every_index_once() {
+    for threads in [1usize, 3, 4] {
+        parallel::with_threads(threads, || {
+            let seen: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+            parallel::for_each_chunk(seen.len(), 8, |range| {
+                for i in range {
+                    seen[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                seen.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "threads={threads}: some index not covered exactly once"
+            );
+        });
+    }
+}
+
+#[test]
+fn for_each_row_block_partitions_rows_disjointly() {
+    for threads in [1usize, 2, 5] {
+        parallel::with_threads(threads, || {
+            let width = 3;
+            let rows = 41;
+            let mut data = vec![0u32; rows * width];
+            parallel::for_each_row_block(&mut data, width, 1, |first_row, block| {
+                for (r, row) in block.chunks_mut(width).enumerate() {
+                    for v in row.iter_mut() {
+                        *v += (first_row + r) as u32 + 1;
+                    }
+                }
+            });
+            let expect: Vec<u32> = (0..rows)
+                .flat_map(|r| std::iter::repeat(r as u32 + 1).take(width))
+                .collect();
+            assert_eq!(data, expect, "threads={threads}");
+        });
+    }
+}
+
+#[test]
+fn panic_in_a_chunk_propagates_to_the_submitter() {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        parallel::with_threads(4, || {
+            parallel::run(8, |i| {
+                if i == 5 {
+                    panic!("chunk 5 exploded");
+                }
+            });
+        });
+    }));
+    let payload = caught.expect_err("the chunk panic must surface on the submitting thread");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(String::from)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("chunk 5 exploded"), "unexpected payload: {msg:?}");
+
+    // The pool survives a panicked batch: the next batch completes normally.
+    let total = AtomicUsize::new(0);
+    parallel::with_threads(4, || {
+        parallel::run(8, |i| {
+            total.fetch_add(i + 1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 36);
+}
+
+#[test]
+fn parallelism_one_runs_inline_on_the_calling_thread() {
+    // With parallelism forced to 1 every chunk must run on the submitting
+    // thread itself (the VOLTSENSE_THREADS=1 short-circuit) — a private
+    // pool shows no worker is ever spawned for it either.
+    let pool = ThreadPool::new(1);
+    let caller = std::thread::current().id();
+    let ran_on_caller = Mutex::new(Vec::new());
+    pool.run(4, &|i| {
+        ran_on_caller
+            .lock()
+            .unwrap()
+            .push((i, std::thread::current().id() == caller));
+    });
+    let runs = ran_on_caller.into_inner().unwrap();
+    assert_eq!(runs.len(), 4);
+    assert!(runs.iter().all(|&(_, inline)| inline), "a chunk left the calling thread");
+    assert_eq!(pool.spawned_workers(), 0, "parallelism 1 must not spawn workers");
+
+    parallel::with_threads(1, || {
+        let items = vec![1u64, 2, 3];
+        let out = parallel::par_map(&items, |&x| {
+            (x, std::thread::current().id() == caller)
+        });
+        assert!(out.iter().all(|&(_, inline)| inline));
+    });
+}
+
+#[test]
+fn nested_parallel_regions_run_inline_without_deadlock() {
+    parallel::with_threads(4, || {
+        let outer: Vec<usize> = (0..8).collect();
+        let out = parallel::par_map(&outer, |&o| {
+            // Inner region: on a worker this must run inline; on the
+            // submitting thread it may parallelize. Either way the value
+            // is deterministic.
+            let inner: Vec<usize> = (0..50).collect();
+            parallel::par_map(&inner, |&i| o * 100 + i).iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|o| (0..50).map(|i| o * 100 + i).sum()).collect();
+        assert_eq!(out, expect);
+    });
+}
+
+#[test]
+fn with_threads_can_exceed_the_configured_default() {
+    // Even on a 1-core machine the override forces real multi-threaded
+    // execution, so thread-count sweeps are exercisable anywhere.
+    parallel::with_threads(4, || {
+        assert_eq!(parallel::current_threads(), 4);
+        let seen = Mutex::new(std::collections::HashSet::new());
+        parallel::run(64, |_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            // Give other workers a chance to claim chunks.
+            std::thread::yield_now();
+        });
+        assert!(!seen.lock().unwrap().is_empty());
+    });
+}
+
+#[test]
+fn scoped_telemetry_capture_sees_worker_emitted_signals() {
+    use std::sync::Arc;
+    use voltsense_telemetry as telemetry;
+
+    let recorder = Arc::new(telemetry::MemoryRecorder::new());
+    telemetry::with_scoped(recorder.clone(), || {
+        parallel::with_threads(4, || {
+            parallel::run(16, |_| {
+                telemetry::counter("pool_test.task_signals", 1);
+            });
+        });
+    });
+    let snapshot = recorder.snapshot("pool_behavior");
+    let counted = snapshot
+        .counters
+        .iter()
+        .find(|(name, _)| name == "pool_test.task_signals")
+        .map(|&(_, value)| value)
+        .unwrap_or(0);
+    assert_eq!(
+        counted, 16,
+        "signals emitted from pool workers must reach the submitter's scoped capture"
+    );
+}

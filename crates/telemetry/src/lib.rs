@@ -89,6 +89,20 @@ fn current_recorder() -> Option<Arc<dyn Recorder>> {
     None
 }
 
+/// The innermost [`with_scoped`] recorder active on the current thread,
+/// if any. The process-global recorder is *not* returned: it is already
+/// visible from every thread. Exists so thread-pool runtimes can
+/// re-install the submitting thread's scope on their workers — scoped
+/// capture is a thread-local, so without propagation signals emitted from
+/// worker threads inside a parallel region would silently bypass it.
+pub fn scoped_recorder() -> Option<Arc<dyn Recorder>> {
+    if SCOPED_DEPTH.with(|d| d.get() > 0) {
+        SCOPED.with(|s| s.borrow().last().cloned())
+    } else {
+        None
+    }
+}
+
 /// Install `recorder` as the process-global sink. Fails (returning the
 /// recorder back) if one was already installed; the global can be set once
 /// per process because instrumented code may cache nothing but the helpers

@@ -70,3 +70,7 @@ pub use voltsense_faults as faults;
 /// Observability: spans, metrics, convergence traces
 /// ([`voltsense_telemetry`]).
 pub use voltsense_telemetry as telemetry;
+
+/// Data-parallel runtime: scoped thread pool with deterministic static
+/// chunking ([`voltsense_parallel`]).
+pub use voltsense_parallel as parallel;

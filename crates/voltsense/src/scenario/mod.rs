@@ -17,6 +17,7 @@ use std::error::Error;
 use std::fmt;
 
 use voltsense_floorplan::{ChipConfig, ChipFloorplan, FloorplanError, NodeId};
+use voltsense_parallel as parallel;
 use voltsense_powergrid::{
     sample_benchmark, GridConfig, GridModel, PowerGridError, SampleConfig, SampledMaps,
 };
@@ -266,10 +267,13 @@ impl Scenario {
         benchmarks: &[usize],
         options: &CollectOptions,
     ) -> Result<ScenarioData, ScenarioError> {
-        let maps: Vec<(usize, SampledMaps)> = benchmarks
-            .iter()
-            .map(|&b| self.simulate(b).map(|m| (b, m)))
-            .collect::<Result<_, _>>()?;
+        // Each benchmark is an independent transient simulation, so the
+        // collection fans out across threads; the ordered collect keeps
+        // the benchmark order (and the first error) deterministic.
+        let maps: Vec<(usize, SampledMaps)> =
+            parallel::par_map(benchmarks, |&b| self.simulate(b).map(|m| (b, m)))
+                .into_iter()
+                .collect::<Result<_, _>>()?;
         ScenarioData::assemble_with(&self.chip, &maps, options)
     }
 
