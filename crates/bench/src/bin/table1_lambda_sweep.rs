@@ -29,13 +29,15 @@ fn main() {
     let paper_sensors = [2, 4, 7, 10, 13, 16];
     let paper_error = [0.51, 0.25, 0.11, 0.06, 0.05, 0.04];
 
-    for &lambda in &lambdas {
-        let config = MethodologyConfig {
-            lambda,
-            ..MethodologyConfig::default()
-        };
-        match PerCoreModel::fit(&exp.train, &exp.partition, &config) {
-            Ok(model) => {
+    // One warm-started homotopy per core carries the whole λ sweep.
+    match PerCoreModel::fit_sweep(
+        &exp.train,
+        &exp.partition,
+        &lambdas,
+        &MethodologyConfig::default(),
+    ) {
+        Ok(models) => {
+            for (model, &lambda) in models.iter().zip(&lambdas) {
                 let per_core =
                     model.total_sensors() as f64 / exp.partition.num_cores() as f64;
                 let report = model.evaluate(&exp.test).expect("evaluation");
@@ -45,8 +47,8 @@ fn main() {
                     report.detection.total_error_rate
                 );
             }
-            Err(e) => println!("{lambda:>8.0}  fit failed: {e}"),
         }
+        Err(e) => println!("sweep fit failed: {e}"),
     }
     rule(58);
 
@@ -59,14 +61,15 @@ fn main() {
         "target Q/core", "eff. budget", "our rel err %", "paper rel err %"
     );
     rule(64);
-    for (i, &q) in paper_sensors.iter().enumerate() {
-        match PerCoreModel::fit_with_sensor_count(
-            &exp.train,
-            &exp.partition,
-            q,
-            &MethodologyConfig::default(),
-        ) {
-            Ok(model) => {
+    // The per-core Q bisections share one warm chain per core too.
+    match PerCoreModel::fit_with_sensor_count_sweep(
+        &exp.train,
+        &exp.partition,
+        &paper_sensors,
+        &MethodologyConfig::default(),
+    ) {
+        Ok(models) => {
+            for (i, (model, &q)) in models.iter().zip(&paper_sensors).enumerate() {
                 let report = model.evaluate(&exp.test).expect("evaluation");
                 let eff_budget: f64 = model
                     .fits()
@@ -83,8 +86,8 @@ fn main() {
                     paper_error[i]
                 );
             }
-            Err(e) => println!("{q:>14}  fit failed: {e}"),
         }
+        Err(e) => println!("sweep fit failed: {e}"),
     }
     rule(64);
     println!(

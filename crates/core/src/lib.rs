@@ -59,4 +59,4 @@ pub use error::CoreError;
 pub use monitor::{EmergencyMonitor, FaultPolicy, MonitorDecision, MonitorStats, SensorHealth};
 pub use pipeline::{EvaluationReport, FittedMethodology, Methodology, MethodologyConfig};
 pub use predict::{CrossFamily, FaultTolerantModel, GlDirectModel, VoltageMapModel};
-pub use selection::{SelectionProblem, SelectionResult, SensorSelector};
+pub use selection::{SelectionHomotopy, SelectionProblem, SelectionResult, SensorSelector};

@@ -119,6 +119,99 @@ impl Methodology {
             emergency_threshold: config.emergency_threshold,
         })
     }
+
+    /// Fits the pipeline at every budget in `lambdas` (the paper's Table 1
+    /// sweep, λ = 10…60) through **one** warm-started homotopy: the
+    /// covariance form is reduced once and every budget bisection reuses
+    /// β, the active set and the probe history of its predecessors.
+    ///
+    /// Returns one fitted pipeline per budget, in the caller's order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Methodology::fit`] (per budget); additionally
+    /// [`CoreError::InvalidConfig`] if `lambdas` is empty.
+    pub fn fit_sweep(
+        x: &Matrix,
+        f: &Matrix,
+        lambdas: &[f64],
+        config: &MethodologyConfig,
+    ) -> Result<Vec<FittedMethodology>, CoreError> {
+        if !(config.emergency_threshold > 0.0) || !config.emergency_threshold.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: format!(
+                    "emergency threshold must be finite and > 0, got {}",
+                    config.emergency_threshold
+                ),
+            });
+        }
+        if lambdas.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                what: "fit_sweep needs at least one lambda".into(),
+            });
+        }
+        let _span = telemetry::span("methodology.fit_sweep");
+        let prepared = crate::selection::SelectionProblem::new(x, f)?;
+        let mut sweep = prepared.homotopy(config.gl_options.clone())?;
+        let mut fitted = Vec::with_capacity(lambdas.len());
+        for &lambda in lambdas {
+            let selection = sweep.select_constrained(lambda, config.threshold)?;
+            telemetry::gauge("methodology.sensors", selection.selected.len() as f64);
+            let model = VoltageMapModel::fit(x, f, &selection.selected)?;
+            fitted.push(FittedMethodology {
+                selection,
+                model,
+                emergency_threshold: config.emergency_threshold,
+            });
+        }
+        Ok(fitted)
+    }
+
+    /// Fits the pipeline at every target sensor count in `qs` through one
+    /// warm-started homotopy — the Q-matched comparisons ("2 sensors per
+    /// core", "7 sensors available") without per-target cold refits.
+    ///
+    /// Returns one fitted pipeline per count, in the caller's order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Methodology::fit_with_sensor_count`] (per
+    /// count); additionally [`CoreError::InvalidConfig`] if `qs` is empty.
+    pub fn fit_with_sensor_count_sweep(
+        x: &Matrix,
+        f: &Matrix,
+        qs: &[usize],
+        config: &MethodologyConfig,
+    ) -> Result<Vec<FittedMethodology>, CoreError> {
+        if !(config.emergency_threshold > 0.0) || !config.emergency_threshold.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: format!(
+                    "emergency threshold must be finite and > 0, got {}",
+                    config.emergency_threshold
+                ),
+            });
+        }
+        if qs.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                what: "fit_with_sensor_count_sweep needs at least one target count".into(),
+            });
+        }
+        let _span = telemetry::span("methodology.fit_with_sensor_count_sweep");
+        let prepared = crate::selection::SelectionProblem::new(x, f)?;
+        let mut sweep = prepared.homotopy(config.gl_options.clone())?;
+        let mut fitted = Vec::with_capacity(qs.len());
+        for &q in qs {
+            let selection = sweep.select_with_count(q, config.threshold)?;
+            telemetry::gauge("methodology.sensors", selection.selected.len() as f64);
+            let model = VoltageMapModel::fit(x, f, &selection.selected)?;
+            fitted.push(FittedMethodology {
+                selection,
+                model,
+                emergency_threshold: config.emergency_threshold,
+            });
+        }
+        Ok(fitted)
+    }
 }
 
 /// A fitted pipeline: the sensor placement plus the runtime prediction
@@ -311,6 +404,55 @@ mod tests {
         let cfg = MethodologyConfig::default();
         assert!(Methodology::fit_with_sensor_count(&x, &f, 0, &cfg).is_err());
         assert!(Methodology::fit_with_sensor_count(&x, &f, 99, &cfg).is_err());
+    }
+
+    #[test]
+    fn fit_sweep_matches_individual_fits() {
+        let (x, f) = training(150, 0.0);
+        let lambdas = [0.7, 1.5, 10.0];
+        let sweep = Methodology::fit_sweep(&x, &f, &lambdas, &MethodologyConfig::default()).unwrap();
+        assert_eq!(sweep.len(), lambdas.len());
+        for (fitted, &lambda) in sweep.iter().zip(&lambdas) {
+            let solo = Methodology::fit(
+                &x,
+                &f,
+                &MethodologyConfig {
+                    lambda,
+                    ..MethodologyConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                fitted.sensors(),
+                solo.sensors(),
+                "λ={lambda}: sweep and solo fits disagree on the placement"
+            );
+            assert!(fitted.selection().budget_used <= lambda + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fit_with_sensor_count_sweep_hits_targets() {
+        let (x, f) = training(150, 0.0);
+        let qs = [1, 2];
+        let sweep =
+            Methodology::fit_with_sensor_count_sweep(&x, &f, &qs, &MethodologyConfig::default())
+                .unwrap();
+        for (fitted, &q) in sweep.iter().zip(&qs) {
+            let got = fitted.sensors().len();
+            assert!(
+                (got as i64 - q as i64).abs() <= 1,
+                "asked for {q} sensors, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sweeps_rejected() {
+        let (x, f) = training(60, 0.0);
+        let cfg = MethodologyConfig::default();
+        assert!(Methodology::fit_sweep(&x, &f, &[], &cfg).is_err());
+        assert!(Methodology::fit_with_sensor_count_sweep(&x, &f, &[], &cfg).is_err());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use voltsense_grouplasso::{solve_constrained, solve_penalized, GlOptions, GlProblem};
+use voltsense_grouplasso::{GlOptions, GlProblem, HomotopySolver};
 use voltsense_linalg::stats::Normalizer;
 use voltsense_linalg::Matrix;
 
@@ -192,6 +192,25 @@ impl SelectionProblem {
         self.problem.num_candidates()
     }
 
+    /// Starts a warm-started sweep over this problem: the returned
+    /// [`SelectionHomotopy`] chains β, the active set and the
+    /// budget-bisection probe history across every selection it performs,
+    /// which is how λ sweeps and per-core Q bisections should run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for invalid solver options.
+    pub fn homotopy(&self, options: GlOptions) -> Result<SelectionHomotopy<'_>, CoreError> {
+        let solver = HomotopySolver::new(&self.problem, options)
+            .map_err(|e| CoreError::InvalidConfig {
+                what: format!("bad solver options: {e}"),
+            })?;
+        Ok(SelectionHomotopy {
+            prepared: self,
+            solver,
+        })
+    }
+
     /// Selects sensors under a budget λ (Steps 4–5).
     ///
     /// # Errors
@@ -204,14 +223,8 @@ impl SelectionProblem {
         threshold: f64,
         options: &GlOptions,
     ) -> Result<SelectionResult, CoreError> {
-        let solution = solve_constrained(&self.problem, lambda, options)?;
-        self.finish(
-            solution.solution.beta,
-            solution.mu,
-            solution.budget_used,
-            lambda,
-            threshold,
-        )
+        self.homotopy(options.clone())?
+            .select_constrained(lambda, threshold)
     }
 
     /// Selects (approximately) `q` sensors by bisecting the penalty μ —
@@ -232,64 +245,10 @@ impl SelectionProblem {
         threshold: f64,
         options: &GlOptions,
     ) -> Result<SelectionResult, CoreError> {
-        if q == 0 || q > self.num_candidates() {
-            return Err(CoreError::InvalidConfig {
-                what: format!(
-                    "target sensor count {q} out of range (1..={})",
-                    self.num_candidates()
-                ),
-            });
-        }
-        let mu_max = self.problem.mu_max();
-        if mu_max == 0.0 {
-            return Err(CoreError::NoSensorsSelected {
-                lambda: 0.0,
-                threshold,
-            });
-        }
-        let mut lo = 0.0_f64; // count(lo) >= q by convention (never solved)
-        let mut hi = mu_max; // count(mu_max) = 0
-        let mut warm: Option<Matrix> = None;
-        let mut best: Option<voltsense_grouplasso::GlSolution> = None;
-        let count_of = |sol: &voltsense_grouplasso::GlSolution| sol.selected(threshold).len();
-        for _ in 0..60 {
-            let mid = 0.5 * (lo + hi);
-            let sol = solve_penalized(&self.problem, mid, options, warm.as_ref())?;
-            let n = count_of(&sol);
-            warm = Some(sol.beta.clone());
-            let better = n > 0
-                && match &best {
-                    Some(b) => {
-                        let cur = count_of(b);
-                        (n as i64 - q as i64).abs() < (cur as i64 - q as i64).abs()
-                            || ((n as i64 - q as i64).abs() == (cur as i64 - q as i64).abs()
-                                && n <= q
-                                && cur > q)
-                    }
-                    None => true,
-                };
-            if better {
-                best = Some(sol.clone());
-            }
-            match n.cmp(&q) {
-                std::cmp::Ordering::Equal => break,
-                std::cmp::Ordering::Greater => lo = mid,
-                std::cmp::Ordering::Less => hi = mid,
-            }
-            if hi - lo <= 1e-9 * mu_max {
-                break;
-            }
-        }
-        let solution = best.ok_or(CoreError::NoSensorsSelected {
-            lambda: f64::INFINITY,
-            threshold,
-        })?;
-        let budget = solution.budget();
-        let mu = solution.mu;
-        self.finish(solution.beta, mu, budget, budget, threshold)
+        self.homotopy(options.clone())?.select_with_count(q, threshold)
     }
 
-    fn finish(
+    pub(crate) fn finish(
         &self,
         beta: Matrix,
         mu: f64,
@@ -323,6 +282,134 @@ impl SelectionProblem {
             x_normalizer: self.x_normalizer.clone(),
             f_normalizer: self.f_normalizer.clone(),
         })
+    }
+}
+
+/// A warm-started selection sweep over one prepared problem.
+///
+/// Every selection this handle performs — whether budget-constrained or
+/// count-targeted — shares the underlying [`HomotopySolver`]'s coefficient
+/// warm start, active set and `(μ, budget)` probe history, so a λ sweep or
+/// a Q bisection costs a fraction of independent cold selections.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_linalg::Matrix;
+/// use voltsense_core::SelectionProblem;
+/// use voltsense_grouplasso::GlOptions;
+///
+/// # fn main() -> Result<(), voltsense_core::CoreError> {
+/// let x = Matrix::from_rows(&[
+///     &[0.99, 0.84, 0.93, 0.88, 0.97, 0.86],
+///     &[0.96, 0.95, 0.97, 0.96, 0.95, 0.96],
+/// ])?;
+/// let f = Matrix::from_rows(&[&[0.98, 0.82, 0.91, 0.86, 0.96, 0.84]])?;
+/// let prepared = SelectionProblem::new(&x, &f)?;
+/// let mut sweep = prepared.homotopy(GlOptions::default())?;
+/// for lambda in [0.5, 1.0, 2.0] {
+///     let result = sweep.select_constrained(lambda, 1e-3)?;
+///     assert!(result.budget_used <= lambda + 1e-9);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SelectionHomotopy<'a> {
+    prepared: &'a SelectionProblem,
+    solver: HomotopySolver<'a>,
+}
+
+impl SelectionHomotopy<'_> {
+    /// Number of penalized GL solves performed so far across all
+    /// selections on this handle.
+    pub fn num_solves(&self) -> usize {
+        self.solver.num_solves()
+    }
+
+    /// Selects sensors under a budget λ, warm-started from everything this
+    /// handle solved before.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SelectionProblem::select_constrained`].
+    pub fn select_constrained(
+        &mut self,
+        lambda: f64,
+        threshold: f64,
+    ) -> Result<SelectionResult, CoreError> {
+        let solution = self.solver.solve_constrained(lambda)?;
+        self.prepared.finish(
+            solution.solution.beta,
+            solution.mu,
+            solution.budget_used,
+            lambda,
+            threshold,
+        )
+    }
+
+    /// Selects (approximately) `q` sensors by bisecting the penalty μ,
+    /// sharing the warm chain with every other selection on this handle.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SelectionProblem::select_with_count`].
+    pub fn select_with_count(
+        &mut self,
+        q: usize,
+        threshold: f64,
+    ) -> Result<SelectionResult, CoreError> {
+        let m_count = self.prepared.num_candidates();
+        if q == 0 || q > m_count {
+            return Err(CoreError::InvalidConfig {
+                what: format!("target sensor count {q} out of range (1..={m_count})"),
+            });
+        }
+        let mu_max = self.prepared.problem.mu_max();
+        if mu_max == 0.0 {
+            return Err(CoreError::NoSensorsSelected {
+                lambda: 0.0,
+                threshold,
+            });
+        }
+        let mut lo = 0.0_f64; // count(lo) >= q by convention (never solved)
+        let mut hi = mu_max; // count(mu_max) = 0
+        let mut best: Option<voltsense_grouplasso::GlSolution> = None;
+        let count_of = |sol: &voltsense_grouplasso::GlSolution| sol.selected(threshold).len();
+        for _ in 0..self.solver.options().max_bisections {
+            let mid = 0.5 * (lo + hi);
+            let sol = self.solver.solve(mid)?;
+            let n = count_of(&sol);
+            let better = n > 0
+                && match &best {
+                    Some(b) => {
+                        let cur = count_of(b);
+                        (n as i64 - q as i64).abs() < (cur as i64 - q as i64).abs()
+                            || ((n as i64 - q as i64).abs() == (cur as i64 - q as i64).abs()
+                                && n <= q
+                                && cur > q)
+                    }
+                    None => true,
+                };
+            if better {
+                best = Some(sol.clone());
+            }
+            match n.cmp(&q) {
+                std::cmp::Ordering::Equal => break,
+                std::cmp::Ordering::Greater => lo = mid,
+                std::cmp::Ordering::Less => hi = mid,
+            }
+            if hi - lo <= 1e-9 * mu_max {
+                break;
+            }
+        }
+        let solution = best.ok_or(CoreError::NoSensorsSelected {
+            lambda: f64::INFINITY,
+            threshold,
+        })?;
+        let budget = solution.budget();
+        let mu = solution.mu;
+        self.prepared.finish(solution.beta, mu, budget, budget, threshold)
     }
 }
 

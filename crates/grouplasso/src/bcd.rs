@@ -20,6 +20,13 @@ pub struct GlOptions {
     pub max_bisections: usize,
     /// Relative tolerance on the budget match for the constrained solver.
     pub budget_tolerance: f64,
+    /// Active-set pruning cadence for BCD: between full sweeps, up to this
+    /// many sweeps touch only the groups in the current support. `0`
+    /// disables pruning (every sweep visits every group — the legacy
+    /// cold full-sweep behaviour). Convergence is only ever declared from
+    /// a full pass over **all** groups, so the returned
+    /// `converged`/`kkt_residual` contract is identical either way.
+    pub full_pass_interval: usize,
 }
 
 impl Default for GlOptions {
@@ -29,6 +36,7 @@ impl Default for GlOptions {
             tolerance: 3e-5,
             max_bisections: 60,
             budget_tolerance: 1e-4,
+            full_pass_interval: 8,
         }
     }
 }
@@ -127,44 +135,81 @@ pub fn solve_penalized(
     let m_count = problem.num_candidates();
     let k_count = problem.num_targets();
     let s = problem.s();
-    let q = problem.q();
-
-    let mut beta = match warm_start {
+    // Group-major working set: row `m` of `bt`/`qt`/`gradt` is the
+    // contiguous K-vector of group `m`, so every inner loop below runs
+    // flat over a slice (auto-vectorizable) instead of striding columns.
+    let qt = problem.q().transpose();
+    let (mut bt, mut gradt) = match warm_start {
         Some(b) => {
             problem.check_beta(b)?;
-            b.clone()
+            let bt = b.transpose();
+            // gradt = (β S)ᵀ = S βᵀ (S symmetric).
+            let gradt = s.matmul(&bt)?;
+            (bt, gradt)
         }
-        None => Matrix::zeros(k_count, m_count),
+        None => (
+            Matrix::zeros(m_count, k_count),
+            Matrix::zeros(m_count, k_count),
+        ),
     };
-
-    // Maintain grad = β S incrementally: a column update of β by δ adds
-    // δ ⊗ S[m, :] — and δ = 0 (the common case for sparse solutions) is
-    // free. This keeps a full sweep at O(K·M·#active) instead of O(K·M²).
-    let mut grad = beta.matmul(s)?;
-    let mut delta = vec![0.0; k_count];
 
     // Convergence is judged on the KKT violation (computable for free from
     // the maintained gradient), scaled by μ_max — a coefficient-change
     // criterion stalls on near-collinear candidate groups.
     let kkt_scale = problem.mu_max().max(f64::MIN_POSITIVE);
+    let tol = options.tolerance * kkt_scale;
+    let interval = options.full_pass_interval;
 
+    // Active-set state. A full sweep visits every group and re-derives the
+    // set as the post-sweep support; the pruned sweeps in between touch
+    // only active groups, and the incremental gradient is maintained only
+    // on active rows (that is all those sweeps read). Rows outside the set
+    // go stale and are rebuilt from the support at the next full pass — so
+    // every full pass measures true violations over all M groups, and
+    // convergence is only ever declared from one.
+    let mut active = vec![true; m_count];
+    let mut active_list: Vec<usize> = (0..m_count).collect();
+    let all_groups: Vec<usize> = (0..m_count).collect();
+    let mut stale = false;
+
+    let mut delta = vec![0.0; k_count];
     let mut sweeps = 0;
+    let mut since_full = 0usize;
+    let mut force_full = true;
     let (converged, kkt_residual) = loop {
         sweeps += 1;
+        let full = interval == 0 || force_full || since_full >= interval;
+        force_full = false;
+        if full {
+            if stale {
+                refresh_stale_rows(&mut gradt, &bt, s, &active, &active_list);
+                stale = false;
+            }
+            since_full = 0;
+        } else {
+            since_full += 1;
+            stale = true;
+        }
+
+        let groups: &[usize] = if full { &all_groups } else { &active_list };
         let mut worst_kkt = 0.0_f64;
-        for m in 0..m_count {
+        for &m in groups {
             let smm = s[(m, m)];
             // c_m = Q[:,m] − (βS)[:,m] + β_m S_mm  (partial residual corr.)
-            // Strided column iterators avoid re-deriving the flat offset
-            // per entry and allocate nothing.
+            // Fused pass: c_m, ‖c_m‖² and ‖β_m‖² in one flat loop.
             let mut c_norm_sq = 0.0;
-            for (d, ((qv, gv), bv)) in delta
-                .iter_mut()
-                .zip(q.col_iter(m).zip(grad.col_iter(m)).zip(beta.col_iter(m)))
+            let mut bnorm_sq = 0.0;
             {
-                let c = qv - gv + bv * smm;
-                *d = c;
-                c_norm_sq += c * c;
+                let qrow = qt.row(m);
+                let grow = gradt.row(m);
+                let brow = bt.row(m);
+                for k in 0..k_count {
+                    let bv = brow[k];
+                    let c = qrow[k] - grow[k] + bv * smm;
+                    delta[k] = c;
+                    c_norm_sq += c * c;
+                    bnorm_sq += bv * bv;
+                }
             }
             let c_norm = c_norm_sq.sqrt();
             // Closed-form group soft threshold.
@@ -175,15 +220,16 @@ pub fn solve_penalized(
             };
             // KKT violation of this group *before* its update: the update
             // drives it to zero, so measuring pre-update violations over a
-            // full sweep bounds the solution quality.
-            let bnorm_old: f64 = beta.col_iter(m).map(|b| b * b).sum::<f64>().sqrt();
+            // full sweep bounds the solution quality. The residual column
+            // (βS − Q)[:,m] is recovered from the cached c_m:
+            // r_k = β_k·S_mm − c_k.
+            let bnorm_old = bnorm_sq.sqrt();
             let violation = if bnorm_old > 0.0 {
-                // r_m + μ β_m/‖β_m‖ where r_m = (βS − Q)[:,m]
+                let brow = bt.row(m);
                 let mut acc = 0.0;
-                for ((gv, qv), bv) in
-                    grad.col_iter(m).zip(q.col_iter(m)).zip(beta.col_iter(m))
-                {
-                    let r = gv - qv + mu * bv / bnorm_old;
+                for k in 0..k_count {
+                    let bv = brow[k];
+                    let r = bv * smm - delta[k] + mu * bv / bnorm_old;
                     acc += r * r;
                 }
                 acc.sqrt()
@@ -192,27 +238,48 @@ pub fn solve_penalized(
             };
             worst_kkt = worst_kkt.max(violation);
 
-            // δ = new β_m − old β_m; apply and update grad lazily.
+            // δ = new β_m − old β_m; apply and update the gradient lazily
+            // (δ = 0 — the common case for sparse solutions — is free).
             let mut changed = false;
-            for k in 0..k_count {
-                let new = scale * delta[k];
-                let d = new - beta[(k, m)];
-                if d != 0.0 {
-                    changed = true;
+            {
+                let brow = bt.row_mut(m);
+                for k in 0..k_count {
+                    let new = scale * delta[k];
+                    let d = new - brow[k];
+                    if d != 0.0 {
+                        changed = true;
+                    }
+                    delta[k] = d;
+                    brow[k] = new;
                 }
-                delta[k] = d;
-                beta[(k, m)] = new;
             }
             if changed {
-                for k in 0..k_count {
-                    let d = delta[k];
-                    if d == 0.0 {
+                // gradt[j, :] += S[m, j] · δ. On pruned sweeps only the
+                // active rows are maintained — the only rows those sweeps
+                // read — cutting the update from O(M·K) to O(|A|·K).
+                let srow = s.row(m);
+                let rows: &[usize] = if full { &all_groups } else { &active_list };
+                for &j in rows {
+                    let smj = srow[j];
+                    if smj == 0.0 {
                         continue;
                     }
-                    let grow = grad.row_mut(k);
-                    for (g, &smj) in grow.iter_mut().zip(s.row(m)) {
-                        *g += d * smj;
+                    let grow = gradt.row_mut(j);
+                    for (g, &d) in grow.iter_mut().zip(&delta) {
+                        *g += smj * d;
                     }
+                }
+            }
+        }
+        if full {
+            // The active set for the upcoming pruned sweeps is the
+            // post-sweep support.
+            active_list.clear();
+            for (m, flag) in active.iter_mut().enumerate() {
+                let nonzero = bt.row(m).iter().any(|&v| v != 0.0);
+                *flag = nonzero;
+                if nonzero {
+                    active_list.push(m);
                 }
             }
         }
@@ -220,29 +287,47 @@ pub fn solve_penalized(
         // free, but the objective costs a matmul — only pay it for a
         // full-detail capture, never for the always-on flight recorder.
         if telemetry::detailed() {
-            let smooth = problem.smooth_objective(&beta)?;
-            let penalty: f64 =
-                (0..m_count).map(|m| column_norm(&beta, m)).sum::<f64>() * mu;
-            let active = (0..m_count).filter(|&m| column_norm(&beta, m) > 0.0).count();
+            let beta_now = bt.transpose();
+            let smooth = problem.smooth_objective(&beta_now)?;
+            let penalty: f64 = (0..m_count).map(|m| row_norm(&bt, m)).sum::<f64>() * mu;
+            let active_count = (0..m_count).filter(|&m| row_norm(&bt, m) > 0.0).count();
             telemetry::event(
                 "bcd.sweep",
                 &[
                     ("objective", smooth + penalty),
                     ("kkt_residual", worst_kkt / kkt_scale),
-                    ("active_groups", active as f64),
+                    ("active_groups", active_count as f64),
                 ],
             );
         }
-        if worst_kkt <= options.tolerance * kkt_scale {
-            break (true, worst_kkt / kkt_scale);
+        if worst_kkt <= tol {
+            if full {
+                break (true, worst_kkt / kkt_scale);
+            }
+            // The active set has converged; verify over all groups before
+            // declaring victory.
+            force_full = true;
         }
         if sweeps >= options.max_sweeps {
-            break (false, worst_kkt / kkt_scale);
+            // Honour the contract that `kkt_residual` covers *all* groups:
+            // if the limit was hit mid-pruned-phase, measure the static
+            // violation at the current iterate instead of the (partial)
+            // sweep figure.
+            let residual = if full {
+                worst_kkt
+            } else {
+                if stale {
+                    refresh_stale_rows(&mut gradt, &bt, s, &active, &active_list);
+                }
+                static_worst_kkt(&bt, &gradt, &qt, mu)
+            };
+            break (false, residual / kkt_scale);
         }
     };
     telemetry::counter("bcd.solves", 1);
     telemetry::histogram("bcd.sweeps", sweeps as f64, "sweeps");
 
+    let beta = bt.transpose();
     let smooth = problem.smooth_objective(&beta)?;
     let penalty: f64 = (0..m_count).map(|m| column_norm(&beta, m)).sum::<f64>() * mu;
     Ok(GlSolution {
@@ -253,6 +338,73 @@ pub fn solve_penalized(
         converged,
         kkt_residual,
     })
+}
+
+/// l2 norm of row `m` of a group-major matrix.
+fn row_norm(mat: &Matrix, m: usize) -> f64 {
+    mat.row(m).iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Rebuilds the gradient rows of groups outside the active set from the
+/// current support. Pruned sweeps only maintain `gradt` on active rows;
+/// since inactive groups hold β_m = 0 and are untouched between full
+/// passes, `gradt[j, :] = Σ_{m active} S[j, m] · β_m` restores every stale
+/// row exactly (in deterministic ascending-`m` order).
+fn refresh_stale_rows(
+    gradt: &mut Matrix,
+    bt: &Matrix,
+    s: &Matrix,
+    active: &[bool],
+    active_list: &[usize],
+) {
+    for j in 0..active.len() {
+        if active[j] {
+            continue;
+        }
+        gradt.row_mut(j).fill(0.0);
+        for &m in active_list {
+            let smj = s[(j, m)];
+            if smj == 0.0 {
+                continue;
+            }
+            let brow = bt.row(m);
+            let grow = gradt.row_mut(j);
+            for (g, &b) in grow.iter_mut().zip(brow) {
+                *g += smj * b;
+            }
+        }
+    }
+}
+
+/// Static worst KKT violation of the current iterate (`gradt` must be
+/// fresh for every row). Mirrors [`crate::kkt_violation`] on the
+/// group-major layout.
+fn static_worst_kkt(bt: &Matrix, gradt: &Matrix, qt: &Matrix, mu: f64) -> f64 {
+    let mut worst = 0.0_f64;
+    for m in 0..bt.rows() {
+        let brow = bt.row(m);
+        let grow = gradt.row(m);
+        let qrow = qt.row(m);
+        let bnorm = brow.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let violation = if bnorm > 0.0 {
+            let mut acc = 0.0;
+            for k in 0..brow.len() {
+                let r = grow[k] - qrow[k] + mu * brow[k] / bnorm;
+                acc += r * r;
+            }
+            acc.sqrt()
+        } else {
+            let rnorm = grow
+                .iter()
+                .zip(qrow)
+                .map(|(g, q)| (g - q) * (g - q))
+                .sum::<f64>()
+                .sqrt();
+            (rnorm - mu).max(0.0)
+        };
+        worst = worst.max(violation);
+    }
+    worst
 }
 
 #[cfg(test)]

@@ -8,7 +8,8 @@
 //! semantics (its Table 1 sweeps λ = 10…60) while using the fast BCD
 //! solver.
 
-use crate::bcd::{solve_penalized, GlOptions, GlSolution};
+use crate::bcd::{GlOptions, GlSolution};
+use crate::homotopy::HomotopySolver;
 use crate::problem::GlProblem;
 use crate::GroupLassoError;
 
@@ -27,8 +28,12 @@ pub struct ConstrainedSolution {
 /// Solves `min ‖G − βZ‖_F  s.t.  Σ‖β_m‖₂ ≤ λ`.
 ///
 /// If the constraint is inactive (the unpenalized fit already satisfies
-/// the budget), the bisection converges towards μ → 0 and returns that
-/// loose solution.
+/// the budget), the bisection detects the stagnating budget and returns
+/// the loose solution early.
+///
+/// This is a convenience wrapper creating a throwaway [`HomotopySolver`];
+/// sweeping several budgets over one problem is much cheaper through a
+/// shared solver (see [`HomotopySolver::solve_constrained`]).
 ///
 /// # Errors
 ///
@@ -41,73 +46,7 @@ pub fn solve_constrained(
     lambda: f64,
     options: &GlOptions,
 ) -> Result<ConstrainedSolution, GroupLassoError> {
-    options.validate()?;
-    if !(lambda > 0.0) || !lambda.is_finite() {
-        return Err(GroupLassoError::InvalidParameter {
-            what: format!("budget lambda must be finite and > 0, got {lambda}"),
-        });
-    }
-
-    // μ = μ_max gives budget 0; bisect downwards from there.
-    let mu_hi_start = problem.mu_max();
-    if mu_hi_start == 0.0 {
-        // Q = 0: the zero solution is optimal and consumes no budget.
-        let solution = solve_penalized(problem, 0.0, options, None)?;
-        let budget_used = solution.budget();
-        return Ok(ConstrainedSolution {
-            solution,
-            mu: 0.0,
-            budget_used,
-        });
-    }
-
-    // Plain bisection from μ_max downward. No cold probe near μ = 0:
-    // real sensor candidates are so correlated that an unregularized solve
-    // from a zero warm start is the slowest problem in the whole pipeline.
-    // Walking the midpoints down with warm starts visits small penalties
-    // only through a chain of nearby problems, each of which converges
-    // quickly. If the constraint turns out inactive, the bisection simply
-    // converges to μ → 0 and returns the (feasible) loose solution.
-    let mut lo = 0.0_f64; // budget(lo) > lambda (by convention; never solved)
-    let mut hi = mu_hi_start; // budget(μ_max) = 0 <= lambda
-    let mut warm: Option<voltsense_linalg::Matrix> = None;
-    let mut best: Option<(GlSolution, f64)> = None;
-
-    for _ in 0..options.max_bisections {
-        let mid = 0.5 * (lo + hi);
-        let sol = solve_penalized(problem, mid, options, warm.as_ref())?;
-        let budget = sol.budget();
-        warm = Some(sol.beta.clone());
-        if budget <= lambda {
-            // Feasible: remember the closest-to-budget feasible solution.
-            let better = match &best {
-                Some((_, b)) => budget > *b,
-                None => true,
-            };
-            if better {
-                best = Some((sol, budget));
-            }
-            hi = mid;
-        } else {
-            lo = mid;
-        }
-        if let Some((_, b)) = &best {
-            if (lambda - b).abs() <= options.budget_tolerance * lambda {
-                break;
-            }
-        }
-    }
-
-    let (solution, budget_used) = best.ok_or(GroupLassoError::DidNotConverge {
-        iterations: options.max_bisections,
-        residual: f64::INFINITY,
-    })?;
-    let mu = solution.mu;
-    Ok(ConstrainedSolution {
-        solution,
-        mu,
-        budget_used,
-    })
+    HomotopySolver::new(problem, options.clone())?.solve_constrained(lambda)
 }
 
 #[cfg(test)]
@@ -152,10 +91,46 @@ mod tests {
     #[test]
     fn large_budget_leaves_constraint_inactive() {
         let p = toy_problem();
-        let sol = solve_constrained(&p, 1e6, &GlOptions::default()).unwrap();
-        // μ is (essentially) zero and the residual is the OLS one.
-        assert!(sol.mu <= p.mu_max() * 1e-8);
+        let opts = GlOptions::default();
+        let mut h = HomotopySolver::new(&p, opts.clone()).unwrap();
+        let sol = h.solve_constrained(1e6).unwrap();
+        // The budget-stagnation exit fires long before the bisection
+        // budget is exhausted: every midpoint is feasible and the budget
+        // stops moving once μ is small, so burning all `max_bisections`
+        // solves (the pre-fix behaviour) buys nothing.
+        assert!(
+            h.num_solves() < opts.max_bisections / 2,
+            "inactive constraint took {} of {} solves",
+            h.num_solves(),
+            opts.max_bisections
+        );
         assert!(sol.budget_used < 1e6);
+        // μ has collapsed far enough that the fit is essentially the
+        // unpenalized one: resolving at μ → 0 cannot improve it much.
+        let loose = p.smooth_objective(&sol.solution.beta).unwrap();
+        let ols_sol = crate::solve_penalized(&p, 0.0, &opts, None).unwrap();
+        let ols = p.smooth_objective(&ols_sol.beta).unwrap();
+        assert!(
+            loose <= ols + 1e-3 * p.gg(),
+            "loose fit {loose} far from unpenalized fit {ols}"
+        );
+    }
+
+    #[test]
+    fn tiny_budget_returns_feasible_zero_instead_of_failing() {
+        // Regression: with λ tiny every sampled midpoint is infeasible, so
+        // the pre-fix bisection never populated its feasible incumbent and
+        // returned a spurious `DidNotConverge`. The μ_max zero solution is
+        // always feasible (budget 0 ≤ λ) and must be returned instead.
+        let p = toy_problem();
+        let opts = GlOptions {
+            max_bisections: 4,
+            ..GlOptions::default()
+        };
+        let sol = solve_constrained(&p, 1e-12, &opts).expect("tiny budget must not fail");
+        assert!(sol.budget_used <= 1e-12);
+        assert!(sol.solution.converged);
+        assert_eq!(sol.solution.kkt_residual, 0.0);
     }
 
     #[test]

@@ -11,8 +11,9 @@ use voltsense_linalg::Matrix;
 use voltsense_parallel as parallel;
 
 use crate::bcd::GlOptions;
+use crate::homotopy::HomotopySolver;
 use crate::problem::GlProblem;
-use crate::{solve_penalized, GroupLassoError};
+use crate::GroupLassoError;
 
 /// Result of a cross-validated penalty sweep.
 #[derive(Debug, Clone)]
@@ -119,13 +120,12 @@ pub fn cross_validate(
         let g_val = g.select_cols(&val_idx);
         let problem = GlProblem::from_data(&z_train, &g_train)?;
         let mut errors = vec![0.0f64; mus.len()];
-        let mut warm = None;
+        let mut solver = HomotopySolver::new(&problem, options.clone())?;
         for &mi in &order {
-            let sol = solve_penalized(&problem, mus[mi], options, warm.as_ref())?;
+            let sol = solver.solve(mus[mi])?;
             let pred = sol.beta.matmul(&z_val)?;
             let resid = &g_val - &pred;
             errors[mi] = resid.frobenius_norm().powi(2) / val_idx.len().max(1) as f64;
-            warm = Some(sol.beta);
         }
         Ok(errors)
     });

@@ -1,0 +1,443 @@
+//! Warm-started λ-homotopy over one group-lasso problem.
+//!
+//! The paper's workloads are *sweeps*: Table 1 solves the same problem at
+//! λ = 10…60, the Q-matched comparison bisects the budget per core, and CV
+//! solves a μ grid per fold. [`HomotopySolver`] makes every solve in such a
+//! sweep share state with its neighbours:
+//!
+//! * the cached covariance form (`ZZᵀ` / `GZᵀ` Grams live in the borrowed
+//!   [`GlProblem`], computed once);
+//! * the coefficient matrix β of the most recent solve, used to warm-start
+//!   the next one (the BCD active set falls out of the warm β's support);
+//! * a probe history of `(μ, budget)` pairs, so a budget bisection for a
+//!   new λ starts from the tightest bracket any earlier solve established
+//!   instead of from `(0, μ_max)`.
+//!
+//! [`crate::solve_constrained`] and [`crate::penalty_path`] are thin
+//! wrappers that create a throwaway solver; the selection pipeline keeps
+//! one alive per core across its whole λ/Q sweep.
+
+use voltsense_linalg::Matrix;
+
+use crate::bcd::{solve_penalized, GlOptions, GlSolution};
+use crate::constrained::ConstrainedSolution;
+use crate::path::PathPoint;
+use crate::problem::GlProblem;
+use crate::GroupLassoError;
+
+/// Relative interval width (vs `μ_max`) below which a budget bisection has
+/// exhausted floating point and must stop.
+const COLLAPSE_REL: f64 = 1e-12;
+
+/// A stateful warm-started solver for sweeping one problem across
+/// penalties and budgets.
+///
+/// # Example
+///
+/// ```
+/// use voltsense_linalg::Matrix;
+/// use voltsense_grouplasso::{GlProblem, GlOptions, HomotopySolver};
+///
+/// # fn main() -> Result<(), voltsense_grouplasso::GroupLassoError> {
+/// let z = Matrix::from_rows(&[&[1.0, -1.0, 0.5, -0.5]])?;
+/// let g = Matrix::from_rows(&[&[0.9, -1.1, 0.4, -0.6]])?;
+/// let p = GlProblem::from_data(&z, &g)?;
+/// let mut h = HomotopySolver::new(&p, GlOptions::default())?;
+/// // Budgets solved in sequence share warm starts and probe history.
+/// let tight = h.solve_constrained(0.5)?;
+/// let loose = h.solve_constrained(1.5)?;
+/// assert!(tight.budget_used <= loose.budget_used + 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HomotopySolver<'a> {
+    problem: &'a GlProblem,
+    options: GlOptions,
+    /// β of the most recent solve and the μ it was solved at.
+    warm: Option<(Matrix, f64)>,
+    /// `(μ, budget)` of every solve so far, ascending in μ.
+    probes: Vec<(f64, f64)>,
+    num_solves: usize,
+}
+
+impl<'a> HomotopySolver<'a> {
+    /// Creates a solver over the given problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupLassoError::InvalidParameter`] for invalid options.
+    pub fn new(problem: &'a GlProblem, options: GlOptions) -> Result<Self, GroupLassoError> {
+        options.validate()?;
+        Ok(HomotopySolver {
+            problem,
+            options,
+            warm: None,
+            probes: Vec::new(),
+            num_solves: 0,
+        })
+    }
+
+    /// The problem this solver sweeps.
+    pub fn problem(&self) -> &GlProblem {
+        self.problem
+    }
+
+    /// The solver options.
+    pub fn options(&self) -> &GlOptions {
+        &self.options
+    }
+
+    /// Number of penalized solves performed so far (one per
+    /// [`HomotopySolver::solve`] call; the early-exit logic in
+    /// [`HomotopySolver::solve_constrained`] exists to keep this small).
+    pub fn num_solves(&self) -> usize {
+        self.num_solves
+    }
+
+    /// Solves the penalized problem at `mu`, warm-started from the most
+    /// recent solve, and records the `(μ, budget)` probe.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve_penalized`].
+    pub fn solve(&mut self, mu: f64) -> Result<GlSolution, GroupLassoError> {
+        let warm = self.warm.as_ref().map(|(b, _)| b);
+        let sol = solve_penalized(self.problem, mu, &self.options, warm)?;
+        self.num_solves += 1;
+        self.record_probe(mu, sol.budget());
+        self.warm = Some((sol.beta.clone(), mu));
+        Ok(sol)
+    }
+
+    fn record_probe(&mut self, mu: f64, budget: f64) {
+        match self.probes.binary_search_by(|(m, _)| m.total_cmp(&mu)) {
+            Ok(i) => self.probes[i] = (mu, budget),
+            Err(i) => self.probes.insert(i, (mu, budget)),
+        }
+    }
+
+    /// Tightest `(lo, hi)` bisection bracket for budget `lambda` supported
+    /// by the probe history: `budget(hi) ≤ λ < budget(lo)` (with the
+    /// conventions `budget(0⁺) = ∞`-ish and `budget(μ_max) = 0`). Falls
+    /// back to `(0, μ_max)` if the history is empty or numerically
+    /// non-monotone around λ.
+    fn bracket(&self, lambda: f64, mu_max: f64) -> (f64, f64) {
+        let mut lo = 0.0_f64;
+        let mut hi = mu_max;
+        // Probes are ascending in μ; budget is non-increasing in μ.
+        for &(mu, budget) in &self.probes {
+            if budget > lambda {
+                lo = lo.max(mu);
+            } else {
+                hi = hi.min(mu);
+                break; // later probes only shrink the budget further
+            }
+        }
+        if lo >= hi {
+            (0.0, mu_max)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Solves `min ‖G − βZ‖_F  s.t.  Σ‖β_m‖₂ ≤ λ` by monotone bisection
+    /// on μ, reusing the warm chain and any bracket the probe history
+    /// already establishes.
+    ///
+    /// The always-feasible zero solution at `μ_max` (budget 0 ≤ λ by
+    /// construction) seeds the feasible incumbent, so the solve cannot
+    /// spuriously fail when every sampled midpoint lands infeasible (tiny
+    /// λ, small `max_bisections`). When the constraint is inactive — no
+    /// sampled μ is infeasible and the budget has stopped moving — the
+    /// bisection exits early instead of burning the full `max_bisections`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GroupLassoError::InvalidParameter`] for `λ <= 0`.
+    /// * Propagates solver failures from the inner penalized solves.
+    pub fn solve_constrained(
+        &mut self,
+        lambda: f64,
+    ) -> Result<ConstrainedSolution, GroupLassoError> {
+        if !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(GroupLassoError::InvalidParameter {
+                what: format!("budget lambda must be finite and > 0, got {lambda}"),
+            });
+        }
+        let mu_max = self.problem.mu_max();
+        if mu_max == 0.0 {
+            // Q = 0: the zero solution is optimal and consumes no budget.
+            let solution = self.solve(0.0)?;
+            let budget_used = solution.budget();
+            return Ok(ConstrainedSolution {
+                solution,
+                mu: 0.0,
+                budget_used,
+            });
+        }
+
+        // Seed the incumbent with the exact zero solution at μ = μ_max:
+        // every group satisfies ‖Q[:, m]‖ ≤ μ_max, so β = 0 is optimal
+        // there with zero KKT residual, and its budget 0 is feasible for
+        // any λ > 0 — no solve needed.
+        let zero_beta = Matrix::zeros(self.problem.num_targets(), self.problem.num_candidates());
+        let mut best = (
+            GlSolution {
+                beta: zero_beta,
+                mu: mu_max,
+                objective: 0.5 * self.problem.gg(),
+                sweeps: 0,
+                converged: true,
+                kkt_residual: 0.0,
+            },
+            0.0_f64,
+        );
+
+        // Start from the tightest bracket the probe history supports
+        // (bisections for nearby λ values share most of their midpoints).
+        let (mut lo, mut hi) = self.bracket(lambda, mu_max);
+        // Has any solve (this call) sampled an infeasible μ — equivalently,
+        // is the constraint known to be active somewhere below `hi`? While
+        // false, a stagnating budget means the bisection is converging to
+        // the unconstrained optimum and can stop early. A probe-derived
+        // lo > 0 proves infeasibility below without any new solve.
+        let mut saw_infeasible = lo > 0.0;
+        let mut prev_budget: Option<f64> = None;
+
+        // A probe-derived `hi < μ_max` marks a μ an earlier bisection found
+        // feasible, but only its (μ, budget) pair survives — the bisection
+        // below samples strictly inside (lo, hi) and never at `hi` itself,
+        // so if the budget jumps across λ just below `hi` every midpoint is
+        // infeasible and the incumbent would stay the zero seed. One warm
+        // solve at `hi` materializes the known-feasible solution first. If
+        // warm-start drift makes the re-solve infeasible after all, the
+        // boundary really sits above `hi`: widen the bracket upward.
+        if hi < mu_max {
+            let sol = self.solve(hi)?;
+            let budget = sol.budget();
+            if budget <= lambda {
+                best = (sol, budget);
+                prev_budget = Some(budget);
+            } else {
+                saw_infeasible = true;
+                lo = hi;
+                hi = mu_max;
+            }
+        }
+
+        for _ in 0..self.options.max_bisections {
+            // The incumbent may already be as tight as requested (a repeated
+            // λ, or a probe that landed on the boundary).
+            if (lambda - best.1).abs() <= self.options.budget_tolerance * lambda {
+                break;
+            }
+            let mid = 0.5 * (lo + hi);
+            let sol = self.solve(mid)?;
+            let budget = sol.budget();
+            if budget <= lambda {
+                // Feasible: keep the closest-to-budget feasible solution.
+                if budget > best.1 || best.0.sweeps == 0 {
+                    best = (sol, budget);
+                }
+                hi = mid;
+            } else {
+                saw_infeasible = true;
+                lo = mid;
+            }
+            // Budget-closeness: the incumbent is as tight as requested.
+            if (lambda - best.1).abs() <= self.options.budget_tolerance * lambda {
+                break;
+            }
+            // Inactive constraint: μ is collapsing towards 0 with every
+            // midpoint feasible and the budget no longer moving (relative
+            // to its own scale, so the loose solution still converges to
+            // the unconstrained fit before the exit fires) — further
+            // bisection just re-solves the same fit.
+            if !saw_infeasible {
+                if let Some(prev) = prev_budget {
+                    let scale = budget.abs().max(prev.abs());
+                    if (budget - prev).abs() <= self.options.budget_tolerance * scale {
+                        break;
+                    }
+                }
+            }
+            prev_budget = Some(budget);
+            // Interval collapse: floating point is exhausted; the incumbent
+            // cannot improve.
+            if hi - lo <= COLLAPSE_REL * mu_max {
+                break;
+            }
+        }
+
+        let (solution, budget_used) = best;
+        let mu = solution.mu;
+        Ok(ConstrainedSolution {
+            solution,
+            mu,
+            budget_used,
+        })
+    }
+
+    /// Solves the penalized problem at each `mu` in `mus` (any order;
+    /// processed from largest to smallest through the warm chain, results
+    /// returned in the caller's order). Duplicate penalties are solved
+    /// once and the [`PathPoint`] reused.
+    ///
+    /// `threshold` is the selection threshold `T` used to count active
+    /// sensors per point.
+    ///
+    /// # Errors
+    ///
+    /// * [`GroupLassoError::InvalidParameter`] if `mus` is empty or
+    ///   contains a negative/non-finite value, or if `threshold` is
+    ///   negative.
+    /// * Propagates inner solver failures.
+    pub fn path(
+        &mut self,
+        mus: &[f64],
+        threshold: f64,
+    ) -> Result<Vec<PathPoint>, GroupLassoError> {
+        if mus.is_empty() {
+            return Err(GroupLassoError::InvalidParameter {
+                what: "penalty path needs at least one mu".into(),
+            });
+        }
+        if mus.iter().any(|m| !(m.is_finite() && *m >= 0.0)) {
+            return Err(GroupLassoError::InvalidParameter {
+                what: format!("penalties must be finite and >= 0: {mus:?}"),
+            });
+        }
+        if !(threshold >= 0.0) {
+            return Err(GroupLassoError::InvalidParameter {
+                what: format!("threshold must be >= 0, got {threshold}"),
+            });
+        }
+
+        // Process from largest to smallest penalty (sparsest first);
+        // duplicates land adjacent in the order and are solved once.
+        let mut order: Vec<usize> = (0..mus.len()).collect();
+        order.sort_by(|&a, &b| mus[b].total_cmp(&mus[a]));
+
+        let mut results: Vec<Option<PathPoint>> = vec![None; mus.len()];
+        let mut prev: Option<usize> = None;
+        for &idx in &order {
+            if let Some(pidx) = prev {
+                if mus[pidx] == mus[idx] {
+                    results[idx] = results[pidx].clone();
+                    continue;
+                }
+            }
+            let sol = self.solve(mus[idx])?;
+            let group_norms = sol.group_norms();
+            let budget = group_norms.iter().sum();
+            let num_selected = group_norms.iter().filter(|&&n| n > threshold).count();
+            let fit = self.problem.smooth_objective(&sol.beta)?;
+            results[idx] = Some(PathPoint {
+                mu: mus[idx],
+                group_norms,
+                budget,
+                num_selected,
+                fit,
+            });
+            prev = Some(idx);
+        }
+        Ok(results.into_iter().map(|p| p.expect("all filled")).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_constrained;
+
+    fn toy_problem() -> GlProblem {
+        let z = Matrix::from_rows(&[
+            &[1.0, -1.0, 0.8, -0.8, 1.2, -1.2, 0.9, -0.9],
+            &[0.9, -0.9, 0.7, -0.9, 1.1, -1.0, 0.8, -1.0],
+            &[0.3, 0.1, -0.2, 0.4, -0.1, 0.2, -0.3, -0.4],
+        ])
+        .unwrap();
+        let g = Matrix::from_rows(&[
+            &[1.0, -1.0, 0.8, -0.8, 1.2, -1.2, 0.9, -0.9],
+            &[0.95, -0.95, 0.75, -0.85, 1.15, -1.1, 0.85, -0.95],
+        ])
+        .unwrap();
+        GlProblem::from_data(&z, &g).unwrap()
+    }
+
+    #[test]
+    fn sweep_reuses_probe_brackets() {
+        let p = toy_problem();
+        let opts = GlOptions::default();
+        // Cold per-λ solve counts.
+        let lambdas = [0.3, 0.5, 0.8, 1.2, 1.5];
+        let mut cold_solves = 0;
+        let mut cold_budgets = Vec::new();
+        for &l in &lambdas {
+            let mut h = HomotopySolver::new(&p, opts.clone()).unwrap();
+            let sol = h.solve_constrained(l).unwrap();
+            cold_solves += h.num_solves();
+            cold_budgets.push(sol.budget_used);
+        }
+        // One shared chain across the sweep.
+        let mut h = HomotopySolver::new(&p, opts).unwrap();
+        let mut warm_budgets = Vec::new();
+        for &l in &lambdas {
+            warm_budgets.push(h.solve_constrained(l).unwrap().budget_used);
+        }
+        assert!(
+            h.num_solves() < cold_solves,
+            "warm sweep took {} solves vs {} cold",
+            h.num_solves(),
+            cold_solves
+        );
+        // Same budgets (up to the shared budget tolerance).
+        for (w, c) in warm_budgets.iter().zip(&cold_budgets) {
+            assert!((w - c).abs() <= 2e-4 * c.max(1e-12), "{w} vs {c}");
+        }
+    }
+
+    #[test]
+    fn matches_standalone_constrained_solver() {
+        let p = toy_problem();
+        let mut h = HomotopySolver::new(&p, GlOptions::default()).unwrap();
+        let a = h.solve_constrained(0.8).unwrap();
+        let b = solve_constrained(&p, 0.8, &GlOptions::default()).unwrap();
+        assert!((a.budget_used - b.budget_used).abs() < 1e-9);
+        assert!((a.mu - b.mu).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_bracket_tightens_with_history() {
+        let p = toy_problem();
+        let mu_max = p.mu_max();
+        let mut h = HomotopySolver::new(&p, GlOptions::default()).unwrap();
+        assert_eq!(h.bracket(0.5, mu_max), (0.0, mu_max));
+        h.solve(0.4 * mu_max).unwrap();
+        h.solve(0.1 * mu_max).unwrap();
+        let (lo, hi) = h.bracket(0.5, mu_max);
+        assert!(lo > 0.0 || hi < mu_max, "history should tighten the bracket");
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn num_solves_counts_every_penalized_solve() {
+        let p = toy_problem();
+        let mut h = HomotopySolver::new(&p, GlOptions::default()).unwrap();
+        assert_eq!(h.num_solves(), 0);
+        h.solve(0.5).unwrap();
+        h.solve(0.1).unwrap();
+        assert_eq!(h.num_solves(), 2);
+    }
+
+    #[test]
+    fn invalid_options_rejected_at_construction() {
+        let p = toy_problem();
+        let bad = GlOptions {
+            max_sweeps: 0,
+            ..GlOptions::default()
+        };
+        assert!(HomotopySolver::new(&p, bad).is_err());
+    }
+}

@@ -24,6 +24,15 @@
 //! independent cross-check, and [`kkt_violation`] verifies optimality of
 //! any solution.
 //!
+//! Sweeps over many penalties or budgets — the shape of every experiment
+//! in the paper — should go through [`HomotopySolver`]: it chains warm
+//! starts and recorded (μ, budget) probes across solves, so each sweep
+//! point and each bisection step starts from the previous solution and
+//! the tightest bracket the history supports. The BCD inner loop also
+//! prunes to the active set between periodic full passes
+//! ([`GlOptions::full_pass_interval`]), which is where most of the
+//! sweep-level speedup comes from on correlated problems.
+//!
 //! Problems are stored in covariance form ([`GlProblem`]: `S = Z Zᵀ`,
 //! `Q = G Zᵀ`), so solver cost is independent of the sample count `N`
 //! after a one-time `O(M²N + KMN)` reduction — the right trade for
@@ -58,6 +67,7 @@ mod constrained;
 mod cv;
 mod error;
 mod fista;
+mod homotopy;
 mod kkt;
 mod path;
 mod problem;
@@ -67,6 +77,7 @@ pub use constrained::{solve_constrained, ConstrainedSolution};
 pub use cv::{cross_validate, CvResult};
 pub use error::GroupLassoError;
 pub use fista::solve_penalized_fista;
+pub use homotopy::HomotopySolver;
 pub use kkt::kkt_violation;
 pub use path::{penalty_path, PathPoint};
 pub use problem::GlProblem;

@@ -6,7 +6,8 @@
 //! the previous solution, which is dramatically cheaper than independent
 //! cold solves.
 
-use crate::bcd::{solve_penalized, GlOptions};
+use crate::bcd::GlOptions;
+use crate::homotopy::HomotopySolver;
 use crate::problem::GlProblem;
 use crate::GroupLassoError;
 
@@ -27,7 +28,8 @@ pub struct PathPoint {
 
 /// Solves the penalized problem at each `mu` in `mus` (any order; they are
 /// processed from largest to smallest for warm-start efficiency, and the
-/// results are returned in the caller's order).
+/// results are returned in the caller's order). Duplicate penalties are
+/// solved once and their [`PathPoint`] reused.
 ///
 /// `threshold` is the selection threshold `T` used to count active
 /// sensors per point.
@@ -60,50 +62,13 @@ pub fn penalty_path(
     threshold: f64,
     options: &GlOptions,
 ) -> Result<Vec<PathPoint>, GroupLassoError> {
-    options.validate()?;
-    if mus.is_empty() {
-        return Err(GroupLassoError::InvalidParameter {
-            what: "penalty path needs at least one mu".into(),
-        });
-    }
-    if mus.iter().any(|m| !(m.is_finite() && *m >= 0.0)) {
-        return Err(GroupLassoError::InvalidParameter {
-            what: format!("penalties must be finite and >= 0: {mus:?}"),
-        });
-    }
-    if !(threshold >= 0.0) {
-        return Err(GroupLassoError::InvalidParameter {
-            what: format!("threshold must be >= 0, got {threshold}"),
-        });
-    }
-
-    // Process from largest to smallest penalty (sparsest first).
-    let mut order: Vec<usize> = (0..mus.len()).collect();
-    order.sort_by(|&a, &b| mus[b].total_cmp(&mus[a]));
-
-    let mut results: Vec<Option<PathPoint>> = vec![None; mus.len()];
-    let mut warm = None;
-    for &idx in &order {
-        let sol = solve_penalized(problem, mus[idx], options, warm.as_ref())?;
-        let group_norms = sol.group_norms();
-        let budget = group_norms.iter().sum();
-        let num_selected = group_norms.iter().filter(|&&n| n > threshold).count();
-        let fit = problem.smooth_objective(&sol.beta)?;
-        results[idx] = Some(PathPoint {
-            mu: mus[idx],
-            group_norms,
-            budget,
-            num_selected,
-            fit,
-        });
-        warm = Some(sol.beta);
-    }
-    Ok(results.into_iter().map(|p| p.expect("all filled")).collect())
+    HomotopySolver::new(problem, options.clone())?.path(mus, threshold)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solve_penalized;
     use voltsense_linalg::Matrix;
 
     fn toy_problem() -> GlProblem {
@@ -158,6 +123,24 @@ mod tests {
                 pt.budget
             );
         }
+    }
+
+    #[test]
+    fn duplicate_penalties_solved_once() {
+        let p = toy_problem();
+        let mus = [0.1, 0.1, 1.0];
+        let path = penalty_path(&p, &mus, 1e-8, &GlOptions::default()).unwrap();
+        assert_eq!(path.len(), 3);
+        for (pt, &mu) in path.iter().zip(&mus) {
+            assert_eq!(pt.mu, mu);
+        }
+        // The duplicated points are literally the same solve's numbers.
+        assert_eq!(path[0].group_norms, path[1].group_norms);
+        assert_eq!(path[0].fit, path[1].fit);
+        // And the dedup really skips the second solve.
+        let mut h = crate::HomotopySolver::new(&p, GlOptions::default()).unwrap();
+        h.path(&mus, 1e-8).unwrap();
+        assert_eq!(h.num_solves(), 2, "three points must come from two solves");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use voltsense_grouplasso::{
     kkt_violation, solve_constrained, solve_penalized, solve_penalized_fista, GlOptions,
-    GlProblem,
+    GlProblem, HomotopySolver,
 };
 use voltsense_linalg::Matrix;
 use voltsense_testkit::{f64_range, forall, usize_range, vec_f64};
@@ -137,5 +137,108 @@ fn warm_start_agrees_with_cold() {
         let cold = solve_penalized(&p, mu, &options(), None).unwrap();
         let scale = cold.objective.abs().max(1.0);
         assert!((warm.objective - cold.objective).abs() <= 1e-5 * scale);
+    });
+}
+
+/// A full-sweep-only option set: `full_pass_interval = 0` disables the
+/// active-set pruning entirely, so these solves are the pre-pruning
+/// reference the pruned solver must match.
+fn full_sweep_options() -> GlOptions {
+    GlOptions {
+        full_pass_interval: 0,
+        ..options()
+    }
+}
+
+/// True when any cold group norm lies in the ambiguous band around the
+/// selection threshold, where solver-tolerance-level differences can
+/// legitimately flip membership.
+fn support_ambiguous(norms: &[f64], threshold: f64) -> bool {
+    norms
+        .iter()
+        .any(|&n| n > threshold * 0.5 && n < threshold * 2.0)
+}
+
+#[test]
+fn pruned_solves_match_full_sweep_solves() {
+    forall!(cases = 64, (m in usize_range(2, 6), k in usize_range(1, 4),
+                         n in usize_range(8, 16), zdata in vec_f64(200, -1.0, 1.0),
+                         mix in vec_f64(40, -0.5, 0.5), mu_frac in f64_range(0.05, 0.9)) => {
+        let p = problem(m, k, n, &zdata, &mix);
+        let mu = p.mu_max() * mu_frac;
+        let pruned = solve_penalized(&p, mu, &options(), None).unwrap();
+        let full = solve_penalized(&p, mu, &full_sweep_options(), None).unwrap();
+        // The `converged` / `kkt_residual` contract is identical: both
+        // converge, both residuals are honest full-problem measurements.
+        assert_eq!(pruned.converged, full.converged);
+        if pruned.converged {
+            assert!(pruned.kkt_residual <= 1e-9, "pruned residual {}", pruned.kkt_residual);
+            let v = kkt_violation(&p, &pruned.beta, mu).unwrap();
+            assert!(v <= 1e-6 * p.mu_max().max(1.0), "static violation {}", v);
+        }
+        // Same optimum: objective within tolerance…
+        let scale = full.objective.abs().max(1.0);
+        assert!(
+            (pruned.objective - full.objective).abs() <= 1e-6 * scale,
+            "pruned {} vs full {}", pruned.objective, full.objective
+        );
+        // …and same selected support at threshold T (skipping cases where
+        // a norm sits inside the ambiguous band around T).
+        let t = 1e-3;
+        let full_norms = full.group_norms();
+        if !support_ambiguous(&full_norms, t) {
+            assert_eq!(pruned.selected(t), full.selected(t));
+        }
+    });
+}
+
+#[test]
+fn homotopy_path_matches_cold_full_sweep_solves() {
+    forall!(cases = 48, (m in usize_range(2, 6), k in usize_range(1, 4),
+                         n in usize_range(8, 16), zdata in vec_f64(200, -1.0, 1.0),
+                         mix in vec_f64(40, -0.5, 0.5)) => {
+        let p = problem(m, k, n, &zdata, &mix);
+        let mus: Vec<f64> = [0.7, 0.4, 0.15, 0.05].iter().map(|f| p.mu_max() * f).collect();
+        let t = 1e-3;
+        let mut h = HomotopySolver::new(&p, options()).unwrap();
+        let path = h.path(&mus, t).unwrap();
+        for (pt, &mu) in path.iter().zip(&mus) {
+            let cold = solve_penalized(&p, mu, &full_sweep_options(), None).unwrap();
+            let scale = cold.objective.abs().max(1.0);
+            let warm_obj = pt.fit + mu * pt.budget;
+            assert!(
+                (warm_obj - cold.objective).abs() <= 1e-6 * scale,
+                "mu={mu}: homotopy obj {warm_obj} vs cold {}", cold.objective
+            );
+            let cold_norms = cold.group_norms();
+            if !support_ambiguous(&cold_norms, t) {
+                let warm_support: Vec<usize> = pt.group_norms.iter().enumerate()
+                    .filter(|&(_, &nm)| nm > t).map(|(i, _)| i).collect();
+                assert_eq!(warm_support, cold.selected(t), "mu={mu}");
+            }
+        }
+    });
+}
+
+#[test]
+fn homotopy_constrained_matches_cold_bisection() {
+    forall!(cases = 48, (m in usize_range(2, 5), k in usize_range(1, 4),
+                         n in usize_range(8, 16), zdata in vec_f64(200, -1.0, 1.0),
+                         mix in vec_f64(40, -0.5, 0.5), lam in f64_range(0.05, 2.0)) => {
+        let p = problem(m, k, n, &zdata, &mix);
+        // A shared chain solving two budgets must stay feasible and agree
+        // with the standalone (throwaway-solver) wrapper.
+        let mut h = HomotopySolver::new(&p, options()).unwrap();
+        let first = h.solve_constrained(lam * 1.5).unwrap();
+        let second = h.solve_constrained(lam).unwrap();
+        assert!(first.budget_used <= lam * 1.5 * (1.0 + 1e-6));
+        assert!(second.budget_used <= lam * (1.0 + 1e-6));
+        let standalone = solve_constrained(&p, lam, &options()).unwrap();
+        // Same budget up to twice the bisection's own budget tolerance.
+        let tol = 2.0 * options().budget_tolerance * lam + 1e-9;
+        assert!(
+            (second.budget_used - standalone.budget_used).abs() <= tol,
+            "warm {} vs standalone {}", second.budget_used, standalone.budget_used
+        );
     });
 }

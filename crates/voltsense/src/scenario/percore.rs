@@ -219,6 +219,113 @@ impl PerCoreModel {
         })
     }
 
+    /// Fits one model per budget in `lambdas` (the paper's Table 1 sweep)
+    /// with **one** warm-started homotopy per core: each core reduces its
+    /// covariance form once and chains every budget bisection through it,
+    /// instead of refitting from cold per λ.
+    ///
+    /// Returns one [`PerCoreModel`] per budget, in the caller's order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-core fit failures (with the failing core named) and
+    /// rejects an empty `lambdas`.
+    pub fn fit_sweep(
+        data: &ScenarioData,
+        partition: &CorePartition,
+        lambdas: &[f64],
+        config: &MethodologyConfig,
+    ) -> Result<Vec<Self>, ScenarioError> {
+        if lambdas.is_empty() {
+            return Err(ScenarioError::Inconsistent {
+                what: "fit_sweep needs at least one lambda".into(),
+            });
+        }
+        // One warm chain per core, producing that core's whole λ column.
+        let mut per_core: Vec<Vec<FittedMethodology>> =
+            Vec::with_capacity(partition.num_cores());
+        for c in 0..partition.num_cores() {
+            let core = CoreId(c);
+            let sub = data.restrict(partition.candidates_of(core), partition.blocks_of(core));
+            let fitted =
+                Methodology::fit_sweep(&sub.x, &sub.f, lambdas, config).map_err(|e| {
+                    ScenarioError::Inconsistent {
+                        what: format!("fit failed for core {c}: {e}"),
+                    }
+                })?;
+            per_core.push(fitted);
+        }
+        Self::bucket_sweep(data, partition, config, per_core, lambdas.len())
+    }
+
+    /// Fits one model per target sensor count in `qs` ("2 sensors per
+    /// core", "7 per core", …) with one warm-started homotopy per core.
+    ///
+    /// Returns one [`PerCoreModel`] per count, in the caller's order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-core fit failures and rejects an empty `qs`.
+    pub fn fit_with_sensor_count_sweep(
+        data: &ScenarioData,
+        partition: &CorePartition,
+        qs: &[usize],
+        config: &MethodologyConfig,
+    ) -> Result<Vec<Self>, ScenarioError> {
+        if qs.is_empty() {
+            return Err(ScenarioError::Inconsistent {
+                what: "fit_with_sensor_count_sweep needs at least one target count".into(),
+            });
+        }
+        let mut per_core: Vec<Vec<FittedMethodology>> =
+            Vec::with_capacity(partition.num_cores());
+        for c in 0..partition.num_cores() {
+            let core = CoreId(c);
+            let sub = data.restrict(partition.candidates_of(core), partition.blocks_of(core));
+            let fitted = Methodology::fit_with_sensor_count_sweep(&sub.x, &sub.f, qs, config)
+                .map_err(|e| ScenarioError::Inconsistent {
+                    what: format!("fit failed for core {c}: {e}"),
+                })?;
+            per_core.push(fitted);
+        }
+        Self::bucket_sweep(data, partition, config, per_core, qs.len())
+    }
+
+    /// Regroups per-core sweep columns (`per_core[core][point]`) into one
+    /// [`PerCoreModel`] per sweep point, each with its Eq. 17 global refit.
+    fn bucket_sweep(
+        data: &ScenarioData,
+        partition: &CorePartition,
+        config: &MethodologyConfig,
+        mut per_core: Vec<Vec<FittedMethodology>>,
+        num_points: usize,
+    ) -> Result<Vec<Self>, ScenarioError> {
+        let mut models = Vec::with_capacity(num_points);
+        // Drain back-to-front per core so each point's fits move out
+        // without cloning the coefficient matrices.
+        for point in (0..num_points).rev() {
+            let mut fits = Vec::with_capacity(per_core.len());
+            for (c, column) in per_core.iter_mut().enumerate() {
+                let core = CoreId(c);
+                fits.push(PerCoreFit {
+                    core,
+                    fitted: column.remove(point),
+                    candidate_rows: partition.candidates_of(core).to_vec(),
+                    block_rows: partition.blocks_of(core).to_vec(),
+                });
+            }
+            let global_model = Self::global_refit(data, &fits)?;
+            models.push(PerCoreModel {
+                fits,
+                global_model,
+                num_candidates: data.num_candidates(),
+                emergency_threshold: config.emergency_threshold,
+            });
+        }
+        models.reverse();
+        Ok(models)
+    }
+
     /// The paper's Eq. 17: OLS of all critical nodes on the union of the
     /// placed sensors.
     fn global_refit(

@@ -77,6 +77,59 @@ fn per_core_model_covers_all_blocks() {
 }
 
 #[test]
+fn per_core_sweep_matches_individual_fits() {
+    let s = scenario();
+    let data = s.collect(&[0, 3]).expect("simulation succeeds");
+    let (train, _test) = data.split(3);
+    let partition = CorePartition::from_chip(s.chip());
+
+    let lambdas = [6.0, 10.0];
+    let sweep = PerCoreModel::fit_sweep(
+        &train,
+        &partition,
+        &lambdas,
+        &MethodologyConfig::default(),
+    )
+    .expect("sweep fit");
+    assert_eq!(sweep.len(), lambdas.len());
+    for (model, &lambda) in sweep.iter().zip(&lambdas) {
+        let solo = PerCoreModel::fit(
+            &train,
+            &partition,
+            &MethodologyConfig {
+                lambda,
+                ..MethodologyConfig::default()
+            },
+        )
+        .expect("individual fit");
+        assert_eq!(
+            model.sensors_global(),
+            solo.sensors_global(),
+            "λ={lambda}: warm sweep placed different sensors than the solo fit"
+        );
+    }
+
+    let qs = [2usize, 4];
+    let q_sweep = PerCoreModel::fit_with_sensor_count_sweep(
+        &train,
+        &partition,
+        &qs,
+        &MethodologyConfig::default(),
+    )
+    .expect("count sweep fit");
+    for (model, &q) in q_sweep.iter().zip(&qs) {
+        for fit in model.fits() {
+            let got = fit.fitted.sensors().len();
+            assert!(
+                (got as i64 - q as i64).abs() <= 1,
+                "core {:?}: asked for {q} sensors, got {got}",
+                fit.core
+            );
+        }
+    }
+}
+
+#[test]
 fn critical_nodes_live_inside_their_blocks() {
     let s = scenario();
     let data = s.collect(&[1]).expect("simulation succeeds");
