@@ -28,8 +28,10 @@ VOLTSENSE_SCALE=small TESTKIT_BENCH_FAST=1 \
 echo "==> parallel scaling smoke (bit-identity + machine-aware speedup gate)"
 # One rep per point keeps this fast; the binary hard-asserts bit-identity
 # across thread counts and applies a lenient speedup floor on small
-# runners (override with VOLTSENSE_MIN_SPEEDUP).
-VOLTSENSE_BENCH_REPS=1 \
+# runners (override with VOLTSENSE_MIN_SPEEDUP). Results go to a scratch
+# dir so the committed results/bench_parallel_scaling.json reference is
+# only compared against (gate below), never overwritten.
+VOLTSENSE_BENCH_REPS=1 TESTKIT_RESULTS_DIR="$(mktemp -d)" \
     cargo run --release --offline -p voltsense-bench --bin parallel_scaling
 
 echo "==> telemetry smoke (instrumented example + export validation)"
@@ -62,12 +64,40 @@ cargo run --release --offline -p voltsense-bench --bin validate_incident -- \
     --expect-ring-event monitor.alarm --expect-attribution \
     "$obs_dir"/incidents/*.json
 
+echo "==> fleet chaos smoke (seeded soak + kill -9 restart resume)"
+# Chaos schedule is replayable from the seed; the binary hard-asserts
+# zero server panics, latch-through-reconnect, and an all-sessions
+# resume (zero refits) after abort()+restart.
+# Results go to a scratch dir: the committed results/bench_fleet.json
+# reference is only compared against (gate below), never overwritten.
+VOLTSENSE_FLEET_SESSIONS=64 VOLTSENSE_FLEET_FRAMES=10000 \
+TESTKIT_RESULTS_DIR="$(mktemp -d)" \
+    cargo run --release --offline -p voltsense-bench --bin fleet_soak
+
 if [[ "${VOLTSENSE_BENCH_GATE:-}" == 1 ]]; then
     echo "==> bench regression gate (VOLTSENSE_BENCH_GATE=1)"
     fresh_dir="$(mktemp -d)"
     for ref in results/bench_*.json; do
         name="$(basename "$ref" .json)"
         case "$name" in
+        bench_fleet)
+            # Bin-generated report: a short soak regenerates it. Only the
+            # microbench entries live inside `benchmarks` (soak stats sit
+            # outside). The bodies are sub-µs and sampled min-of-k, but on
+            # a shared single-core runner sustained CPU steal still
+            # spreads back-to-back mins ~2x, so fleet compares at ±150%:
+            # wide enough to never flap on neighbor noise, tight enough
+            # to catch the step-change regressions (allocation blowups,
+            # accidental quadratic scans) a µs gate can honestly detect.
+            VOLTSENSE_FLEET_SESSIONS=16 VOLTSENSE_FLEET_FRAMES=2000 \
+            TESTKIT_RESULTS_DIR="$fresh_dir" \
+                cargo run --release --offline -p voltsense-bench --bin fleet_soak ||
+                continue
+            [[ -f "$fresh_dir/$name.json" ]] &&
+                cargo run --release --offline -p voltsense-bench --bin bench_compare \
+                    "$fresh_dir/$name.json" "$ref" --tolerance 1.5
+            continue
+            ;;
         bench_parallel_scaling)
             # Bin-generated report (not a bench target): regenerate with one
             # rep per point. Extra tN entries on wider machines are noted by

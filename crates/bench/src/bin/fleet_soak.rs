@@ -1,0 +1,515 @@
+//! Fleet soak bench: sustained readings/sec, p99 decision latency, and
+//! shed/recovery counts under a seeded chaos schedule, plus the kill-9
+//! restart drill (every session resumes from its checkpoint, zero refits).
+//!
+//! Three phases:
+//!
+//! 1. **Microbenches** — frame encode, frame decode, checkpoint
+//!    round-trip, monitor observe. These are the entries inside the
+//!    `benchmarks` array: stable per-op costs the ±30% `bench_compare`
+//!    gate can hold across commits.
+//! 2. **Chaos soak** — ≥ 64 sessions across 8 tenants ingest ≥ 10k frames
+//!    through `FaultyTransport` (moderate profile: disconnects, corrupt
+//!    prefixes, truncations, duplicates, reorders, stalls) while a quiet
+//!    control tenant measures round-trip decision latency on the same
+//!    server. A droop window then latches chip 0 of every chaos tenant;
+//!    each latch must survive a disconnect + reconnect.
+//! 3. **Restart drill** — `abort()` (the kill -9 simulation: no flush,
+//!    no goodbye) + restart on the same checkpoint directory. Every
+//!    session must greet back `resumed` with its alarm intact and the
+//!    session factory must never run (zero refits).
+//!
+//! Soak numbers are load- and machine-dependent, so they are reported
+//! *outside* the `benchmarks` array (the `parallel_scaling` convention);
+//! the robustness properties are hard-asserted and the binary exits
+//! non-zero if any fails.
+//!
+//! Env: `VOLTSENSE_FLEET_SESSIONS` (default 64), `VOLTSENSE_FLEET_FRAMES`
+//! (default 10000), `VOLTSENSE_FLEET_SEED` (default 7),
+//! `VOLTSENSE_BENCH_REPS` (samples per microbench min, default 5).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use voltsense::core::{EmergencyMonitor, VoltageMapModel};
+use voltsense::fleet::chaos::ChaosConfig;
+use voltsense::fleet::checkpoint;
+use voltsense::fleet::client::{FleetClient, RetryPolicy};
+use voltsense::fleet::frame::{Frame, FrameDecoder, DEFAULT_MAX_FRAME};
+use voltsense::fleet::server::{FleetConfig, FleetServer, SessionFactory};
+use voltsense::fleet::session::{ChipMonitor, SessionKey};
+use voltsense::linalg::Matrix;
+use voltsense::telemetry::env;
+use voltsense::workload::GaussianRng;
+use voltsense_bench::{results_dir, rule};
+
+const CONTROL_TENANT: u64 = 1000;
+const DROOP_CHIP: u64 = 0;
+
+/// Identity monitor (prediction == reading): persistence 2, a 10 V
+/// release margin so a latched alarm is effectively permanent.
+fn identity_monitor() -> EmergencyMonitor {
+    let model = VoltageMapModel::from_parts(
+        vec![0],
+        1,
+        Matrix::from_rows(&[&[1.0]]).unwrap(),
+        vec![0.0],
+        0.001,
+    )
+    .unwrap();
+    EmergencyMonitor::new(model, 0.8, 2, 10.0).unwrap()
+}
+
+/// Factory that counts invocations — the restart drill's refit detector.
+fn counting_factory(count: Arc<AtomicU64>) -> SessionFactory {
+    Arc::new(move |_key| {
+        count.fetch_add(1, Ordering::SeqCst);
+        Ok(Box::new(identity_monitor()) as Box<dyn ChipMonitor>)
+    })
+}
+
+/// One timed sample: per-op cost in ns over `iters` inner iterations.
+fn sample_ns(iters: usize, body: &mut impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        body();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+struct MicroBench {
+    name: &'static str,
+    min_ns: f64,
+}
+
+/// Phase 1: the stable, gated per-op costs.
+///
+/// Noise model: this runs on shared hardware where multi-hundred-ms CPU
+/// steal bursts are routine, so a per-benchmark median can land entirely
+/// inside one burst and read 1.5–2× slow. Instead the four bodies are
+/// sampled **interleaved round-robin** (a burst is spread across all of
+/// them, not concentrated on whichever ran during it) and each reports
+/// its **minimum** sample — contention only ever adds time, so the min
+/// is the reproducible uncontended cost the ±30% gate can hold.
+fn microbenches(reps: usize) -> Vec<MicroBench> {
+    let readings: Vec<f64> = (0..16).map(|i| 0.9 + 0.001 * i as f64).collect();
+    let frame = Frame::Readings { chip: 3, seq: 42, values: readings.clone() };
+    let bytes = frame.encode();
+
+    // A fleet-shaped model (32 blocks x 8 sensors) warmed mid-stream, so
+    // the checkpoint carries a realistic debounce/alarm state.
+    let mut rng = GaussianRng::seed_from_u64(0xF1EE7);
+    let coeffs = Matrix::from_vec(
+        32,
+        8,
+        (0..32 * 8).map(|_| 0.125 * (0.5 + 0.5 * rng.uniform())).collect(),
+    )
+    .unwrap();
+    let intercept: Vec<f64> = (0..32).map(|_| 0.05 * rng.uniform()).collect();
+    let model = VoltageMapModel::from_parts((0..8).collect(), 12, coeffs, intercept, 0.004).unwrap();
+    let mut monitor = EmergencyMonitor::new(model, 0.8, 2, 0.02).unwrap();
+    let healthy: Vec<f64> = (0..8).map(|i| 0.95 + 0.002 * i as f64).collect();
+    for _ in 0..24 {
+        monitor.observe(&healthy).expect("arity matches");
+    }
+    let key = SessionKey { tenant: 7, chip: 11 };
+
+    let mut encode = || {
+        std::hint::black_box(frame.encode());
+    };
+    let mut decode = || {
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        decoder.push(&bytes);
+        std::hint::black_box(decoder.next().expect("valid frame").expect("complete"));
+    };
+    // Checkpoint and observe share the monitor, so they run inside one
+    // round-robin pass rather than as separate closures.
+    const ENC_ITERS: usize = 16384;
+    const DEC_ITERS: usize = 16384;
+    const CKPT_ITERS: usize = 256;
+    const OBS_ITERS: usize = 16384;
+
+    // Warmup pass (first allocator touches, cache fill), then the rounds.
+    sample_ns(ENC_ITERS, &mut encode);
+    sample_ns(DEC_ITERS, &mut decode);
+    let mut best = [f64::INFINITY; 4];
+    for round in 0..=reps.max(1) {
+        let enc = sample_ns(ENC_ITERS, &mut encode);
+        let dec = sample_ns(DEC_ITERS, &mut decode);
+        let ckpt = sample_ns(CKPT_ITERS, &mut || {
+            let json = checkpoint::to_json(key, &monitor);
+            std::hint::black_box(checkpoint::from_json(&json).expect("own output parses"));
+        });
+        let obs = sample_ns(OBS_ITERS, &mut || {
+            std::hint::black_box(monitor.observe(&healthy).expect("arity matches"));
+        });
+        if round == 0 {
+            continue; // warmup round for the monitor-backed bodies
+        }
+        for (slot, ns) in best.iter_mut().zip([enc, dec, ckpt, obs]) {
+            if ns < *slot {
+                *slot = ns;
+            }
+        }
+    }
+
+    let out = vec![
+        MicroBench { name: "frame_encode", min_ns: best[0] },
+        MicroBench { name: "frame_decode", min_ns: best[1] },
+        MicroBench { name: "checkpoint_roundtrip", min_ns: best[2] },
+        MicroBench { name: "monitor_observe", min_ns: best[3] },
+    ];
+    for b in &out {
+        println!("bench fleet/{}: min {:.1} ns/op", b.name, b.min_ns);
+    }
+    out
+}
+
+struct SoakReport {
+    seed: u64,
+    tenants: usize,
+    chips_per_tenant: usize,
+    sessions: usize,
+    frames_sent: u64,
+    elapsed_s: f64,
+    readings_per_sec: f64,
+    lat_p50_ms: f64,
+    lat_p99_ms: f64,
+    lat_samples: usize,
+    reconnects: u64,
+    busys: u64,
+    injected_faults: u64,
+    shed: u64,
+    rejected: u64,
+    recoveries: u64,
+    quarantined: u64,
+    decode_errors: u64,
+    checkpoints: u64,
+    restart_resumed: usize,
+    restart_refits: u64,
+    restart_restores: u64,
+    restart_alarms_held: usize,
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let reps = env::parse::<usize>("VOLTSENSE_BENCH_REPS").filter(|&r| r > 0).unwrap_or(5);
+    let seed = env::parse::<u64>("VOLTSENSE_FLEET_SEED").unwrap_or(7);
+    let sessions_req = env::parse::<usize>("VOLTSENSE_FLEET_SESSIONS").filter(|&s| s > 0).unwrap_or(64);
+    let frames_req = env::parse::<u64>("VOLTSENSE_FLEET_FRAMES").filter(|&f| f > 0).unwrap_or(10_000);
+
+    let tenants = sessions_req.min(8).max(1);
+    let chips_per_tenant = (sessions_req / tenants).max(1);
+    let sessions = tenants * chips_per_tenant;
+    let rounds = (frames_req as usize).div_ceil(sessions).max(1);
+
+    rule(72);
+    println!("fleet_soak: {tenants} tenants x {chips_per_tenant} chips = {sessions} sessions");
+    println!("  target {frames_req} frames ({rounds} rounds), seed {seed}, reps {reps}");
+    rule(72);
+
+    let benches = microbenches(reps);
+
+    // --- phase 2: the chaos soak --------------------------------------
+    let ckpt_dir = std::env::temp_dir().join(format!("fleet_soak_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let cfg = FleetConfig {
+        tick: Duration::from_millis(2),
+        checkpoint_dir: Some(ckpt_dir.clone()),
+        checkpoint_interval: 32,
+        ..FleetConfig::default()
+    };
+    let refits = Arc::new(AtomicU64::new(0));
+    let mut server =
+        FleetServer::start(cfg.clone(), counting_factory(refits.clone())).expect("bind soak server");
+    let addr = server.addr();
+
+    let mut failures: Vec<String> = Vec::new();
+    let soak_start = Instant::now();
+    let finished = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<std::thread::JoinHandle<FleetClient>> = (0..tenants)
+        .map(|t| {
+            let tenant = t as u64 + 1;
+            let finished = finished.clone();
+            let chips = chips_per_tenant as u64;
+            std::thread::spawn(move || {
+                let mut client = FleetClient::new(
+                    addr,
+                    tenant,
+                    RetryPolicy::default(),
+                    ChaosConfig::moderate(seed ^ (tenant << 8)),
+                );
+                for chip in 0..chips {
+                    client.hello(chip).expect("handshake retries through chaos");
+                }
+                let mut rng = GaussianRng::seed_from_u64(seed ^ tenant);
+                for round in 0..rounds as u64 {
+                    for chip in 0..chips {
+                        // Healthy band: dips toward, never below, 0.8.
+                        let v = 0.9 + 0.08 * rng.uniform();
+                        client.send_readings(chip, round, &[v]).expect("send survives chaos");
+                    }
+                    let _ = client.drain_responses(Duration::ZERO);
+                }
+                finished.fetch_add(1, Ordering::SeqCst);
+                client
+            })
+        })
+        .collect();
+
+    // Control tenant: quiet transport, synchronous round trips on the
+    // same server — its decision latency is the serving-path p99 under
+    // full chaos load. Keeps measuring until the chaos threads finish.
+    let mut control = FleetClient::new(
+        addr,
+        CONTROL_TENANT,
+        RetryPolicy::default(),
+        ChaosConfig::quiet(seed),
+    );
+    control.hello(0).expect("control handshake");
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut control_rng = GaussianRng::seed_from_u64(seed ^ 0xC0117501);
+    let mut seq = 0u64;
+    loop {
+        let v = 0.85 + 0.1 * control_rng.uniform();
+        control.send_readings(0, seq, &[v]).expect("control send");
+        let t0 = Instant::now();
+        match control.wait_for(Duration::from_secs(10), |f| {
+            matches!(f, Frame::Decision { seq: s, .. } if *s == seq)
+        }) {
+            Ok(_) => latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3),
+            Err(e) => failures.push(format!("control decision for seq {seq} lost: {e:?}")),
+        }
+        seq += 1;
+        let done = finished.load(Ordering::SeqCst) == tenants;
+        if (seq >= 300 && done) || seq >= 20_000 {
+            break;
+        }
+    }
+    let mut clients: Vec<FleetClient> = handles
+        .into_iter()
+        .map(|h| h.join().expect("chaos sender thread must not panic"))
+        .collect();
+    let elapsed = soak_start.elapsed().as_secs_f64();
+
+    // --- droop windows: latch chip 0 of every chaos tenant ------------
+    for client in &mut clients {
+        let tenant = client.tenant();
+        let key = SessionKey { tenant, chip: DROOP_CHIP };
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut droop_seq = 1_000_000u64;
+        while server.session_alarmed(key) != Some(true) {
+            if Instant::now() >= deadline {
+                failures.push(format!("tenant {tenant} droop chip never latched"));
+                break;
+            }
+            client.send_readings(DROOP_CHIP, droop_seq, &[0.70]).expect("droop send");
+            droop_seq += 1;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    // Latched alarms must survive a disconnect + reconnect.
+    for client in &mut clients {
+        let tenant = client.tenant();
+        client.disconnect();
+        match client.hello(DROOP_CHIP) {
+            Ok(hello) => {
+                if !hello.resumed {
+                    failures.push(format!("tenant {tenant} reconnect refit instead of resuming"));
+                }
+                if !hello.alarmed {
+                    failures.push(format!("tenant {tenant} latched alarm lost across reconnect"));
+                }
+            }
+            Err(e) => failures.push(format!("tenant {tenant} reconnect failed: {e:?}")),
+        }
+    }
+
+    let frames_sent: u64 =
+        clients.iter().map(|c| c.stats().sends).sum::<u64>() + control.stats().sends;
+    let reconnects: u64 = clients.iter().map(|c| c.stats().reconnects).sum();
+    let busys: u64 = clients.iter().map(|c| c.stats().busys).sum();
+    let injected_faults: u64 = clients
+        .iter()
+        .map(|c| {
+            let s = c.chaos_stats();
+            s.disconnects + s.corruptions + s.truncations + s.duplicates + s.reorders + s.stalls
+        })
+        .sum();
+    let stats = server.stats();
+    if stats.quarantined != 0 {
+        failures.push(format!("{} sessions quarantined under chaos (must be 0)", stats.quarantined));
+    }
+    if stats.sessions != sessions as u64 + 1 {
+        failures.push(format!("expected {} live sessions, saw {}", sessions + 1, stats.sessions));
+    }
+    if injected_faults == 0 {
+        failures.push("chaos schedule injected nothing — the soak was vacuous".into());
+    }
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let lat_p50 = percentile(&latencies_ms, 0.50);
+    let lat_p99 = percentile(&latencies_ms, 0.99);
+    println!(
+        "soak: {frames_sent} frames in {elapsed:.2}s ({:.0} readings/s), \
+         latency p50 {lat_p50:.2} ms p99 {lat_p99:.2} ms",
+        frames_sent as f64 / elapsed
+    );
+    println!(
+        "      shed {} rejected {} recoveries {} reconnects {reconnects} \
+         busys {busys} faults {injected_faults} decode_errors {}",
+        stats.shed, stats.rejected, stats.recoveries, stats.decode_errors
+    );
+
+    // --- phase 3: kill -9 + restart from checkpoints ------------------
+    // Give in-flight checkpoints a beat, then abort: no flush, no stop().
+    std::thread::sleep(Duration::from_millis(50));
+    server.abort();
+    drop(clients);
+    drop(control);
+
+    let refits_after = Arc::new(AtomicU64::new(0));
+    let mut server2 = FleetServer::start(cfg, counting_factory(refits_after.clone()))
+        .expect("restarted server binds");
+    let mut resumed = 0usize;
+    let mut alarms_held = 0usize;
+    for t in 0..tenants {
+        let tenant = t as u64 + 1;
+        let mut client = FleetClient::new(
+            server2.addr(),
+            tenant,
+            RetryPolicy::default(),
+            ChaosConfig::quiet(seed ^ tenant),
+        );
+        for chip in 0..chips_per_tenant as u64 {
+            match client.hello(chip) {
+                Ok(hello) => {
+                    if hello.resumed {
+                        resumed += 1;
+                    } else {
+                        failures
+                            .push(format!("tenant {tenant} chip {chip} refit after restart"));
+                    }
+                    if chip == DROOP_CHIP {
+                        if hello.alarmed {
+                            alarms_held += 1;
+                        } else {
+                            failures.push(format!(
+                                "tenant {tenant} droop alarm lost across kill -9 restart"
+                            ));
+                        }
+                    }
+                }
+                Err(e) => failures.push(format!(
+                    "tenant {tenant} chip {chip} hello after restart failed: {e:?}"
+                )),
+            }
+        }
+    }
+    let restart_refits = refits_after.load(Ordering::SeqCst);
+    if restart_refits != 0 {
+        failures.push(format!("restart ran the factory {restart_refits} times (refit!)"));
+    }
+    let restart_restores = server2.stats().restores;
+    println!(
+        "restart: {resumed}/{sessions} sessions resumed from checkpoint, \
+         {restart_refits} refits, {alarms_held}/{tenants} alarms held"
+    );
+    server2.stop();
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+    let report = SoakReport {
+        seed,
+        tenants,
+        chips_per_tenant,
+        sessions,
+        frames_sent,
+        elapsed_s: elapsed,
+        readings_per_sec: frames_sent as f64 / elapsed,
+        lat_p50_ms: lat_p50,
+        lat_p99_ms: lat_p99,
+        lat_samples: latencies_ms.len(),
+        reconnects,
+        busys,
+        injected_faults,
+        shed: stats.shed,
+        rejected: stats.rejected,
+        recoveries: stats.recoveries,
+        quarantined: stats.quarantined,
+        decode_errors: stats.decode_errors,
+        checkpoints: stats.checkpoints,
+        restart_resumed: resumed,
+        restart_refits,
+        restart_restores,
+        restart_alarms_held: alarms_held,
+    };
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("bench_fleet.json");
+    std::fs::write(&path, to_json(&benches, &report)).expect("write report");
+    println!("wrote {}", path.display());
+
+    if !failures.is_empty() {
+        eprintln!("fleet_soak FAILED {} robustness properties:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all robustness properties held (seed {seed} replays this schedule)");
+}
+
+fn to_json(benches: &[MicroBench], r: &SoakReport) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"voltsense-metrics-v1\",\n");
+    s.push_str("  \"suite\": \"fleet\",\n");
+    // Soak numbers live OUTSIDE the benchmarks array on purpose: they
+    // scale with machine load and chaos schedule, and would flap the
+    // ±30% bench_compare gate without measuring a regression.
+    s.push_str("  \"soak\": {\n");
+    s.push_str(&format!("    \"seed\": {},\n", r.seed));
+    s.push_str(&format!("    \"tenants\": {},\n", r.tenants));
+    s.push_str(&format!("    \"chips_per_tenant\": {},\n", r.chips_per_tenant));
+    s.push_str(&format!("    \"sessions\": {},\n", r.sessions));
+    s.push_str(&format!("    \"frames_sent\": {},\n", r.frames_sent));
+    s.push_str(&format!("    \"elapsed_s\": {:.3},\n", r.elapsed_s));
+    s.push_str(&format!("    \"readings_per_sec\": {:.1},\n", r.readings_per_sec));
+    s.push_str(&format!(
+        "    \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"samples\": {}}},\n",
+        r.lat_p50_ms, r.lat_p99_ms, r.lat_samples
+    ));
+    s.push_str(&format!(
+        "    \"server\": {{\"shed\": {}, \"rejected\": {}, \"recoveries\": {}, \
+         \"quarantined\": {}, \"decode_errors\": {}, \"checkpoints\": {}}},\n",
+        r.shed, r.rejected, r.recoveries, r.quarantined, r.decode_errors, r.checkpoints
+    ));
+    s.push_str(&format!(
+        "    \"clients\": {{\"reconnects\": {}, \"busys\": {}, \"injected_faults\": {}}},\n",
+        r.reconnects, r.busys, r.injected_faults
+    ));
+    s.push_str(&format!(
+        "    \"restart\": {{\"resumed\": {}, \"refits\": {}, \"restores\": {}, \
+         \"alarms_held\": {}}}\n",
+        r.restart_resumed, r.restart_refits, r.restart_restores, r.restart_alarms_held
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"benchmarks\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"value\": {:.1}, \"unit\": \"ns\", \"min_ns\": {:.1}}}",
+            b.name, b.min_ns, b.min_ns
+        ));
+        s.push_str(if i + 1 < benches.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -56,7 +56,9 @@ mod predict;
 mod selection;
 
 pub use error::CoreError;
-pub use monitor::{EmergencyMonitor, FaultPolicy, MonitorDecision, MonitorStats, SensorHealth};
+pub use monitor::{
+    EmergencyMonitor, FaultPolicy, MonitorCheckpoint, MonitorDecision, MonitorStats, SensorHealth,
+};
 pub use pipeline::{EvaluationReport, FittedMethodology, Methodology, MethodologyConfig};
 pub use predict::{CrossFamily, FaultTolerantModel, GlDirectModel, VoltageMapModel};
 pub use selection::{SelectionHomotopy, SelectionProblem, SelectionResult, SensorSelector};

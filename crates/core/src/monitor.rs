@@ -105,6 +105,32 @@ impl MonitorStats {
     }
 }
 
+/// Serializable snapshot of an [`EmergencyMonitor`]'s alarm state machine.
+///
+/// Captures everything `observe()` mutates — debounce depth, hysteresis
+/// latch, and session counters — but *not* the model (serialize that
+/// separately via [`VoltageMapModel::linear_fit`] /
+/// [`VoltageMapModel::from_parts`]) and not the fault-tolerance layer
+/// (cross-prediction health state is rebuilt from fresh observations after
+/// a restart). Produced by [`EmergencyMonitor::checkpoint`], consumed by
+/// [`EmergencyMonitor::restore`]; the `voltsense-fleet` crate persists it
+/// as JSON so a restarted server resumes alarms without a refit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorCheckpoint {
+    /// Alarm threshold (V).
+    pub threshold: f64,
+    /// Debounce depth in samples.
+    pub persistence: usize,
+    /// Hysteresis release margin (V).
+    pub release_margin: f64,
+    /// Consecutive sub-threshold samples seen so far.
+    pub consecutive: usize,
+    /// Whether the alarm output is currently asserted (latched).
+    pub asserted: bool,
+    /// Accumulated session counters.
+    pub stats: MonitorStats,
+}
+
 /// Configuration of the fault-tolerance layer.
 ///
 /// The residual threshold for sensor `i` is
@@ -286,6 +312,47 @@ impl EmergencyMonitor {
             failed: vec![false; q],
         });
         Ok(monitor)
+    }
+
+    /// Restores a monitor from a checkpointed state machine and a
+    /// reconstructed model: the monitor picks up exactly where
+    /// [`EmergencyMonitor::checkpoint`] froze it — a latched alarm stays
+    /// latched, debounce progress is preserved, counters continue.
+    ///
+    /// # Errors
+    ///
+    /// Same configuration conditions as [`EmergencyMonitor::new`] (the
+    /// checkpointed configuration is re-validated, so a hand-edited
+    /// checkpoint cannot smuggle in an invalid monitor). `consecutive` is
+    /// clamped to `persistence` — larger values cannot occur in a monitor
+    /// that produced the checkpoint.
+    pub fn restore(
+        model: VoltageMapModel,
+        checkpoint: &MonitorCheckpoint,
+    ) -> Result<Self, CoreError> {
+        let mut monitor = EmergencyMonitor::new(
+            model,
+            checkpoint.threshold,
+            checkpoint.persistence,
+            checkpoint.release_margin,
+        )?;
+        monitor.consecutive = checkpoint.consecutive.min(checkpoint.persistence);
+        monitor.asserted = checkpoint.asserted;
+        monitor.stats = checkpoint.stats;
+        Ok(monitor)
+    }
+
+    /// Snapshots the alarm state machine for crash-safe persistence. See
+    /// [`MonitorCheckpoint`] for what is (and is not) captured.
+    pub fn checkpoint(&self) -> MonitorCheckpoint {
+        MonitorCheckpoint {
+            threshold: self.threshold,
+            persistence: self.persistence,
+            release_margin: self.release_margin,
+            consecutive: self.consecutive,
+            asserted: self.asserted,
+            stats: self.stats,
+        }
     }
 
     /// The wrapped prediction model.
@@ -747,6 +814,93 @@ mod tests {
         assert!(m.is_alarmed(), "NaN de-asserted the alarm");
         let s = m.stats();
         assert_eq!((s.samples, s.alarm_events), (1, 1));
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_the_state_machine_exactly() {
+        // Drive an original monitor halfway into a debounce streak plus a
+        // latched alarm; the restored copy must continue bit-identically.
+        let mut original = EmergencyMonitor::new(model(), 0.85, 2, 0.02).unwrap();
+        for v in [0.9, 0.84, 0.84, 0.86] {
+            original.observe(&[v]).unwrap();
+        }
+        assert!(original.is_alarmed(), "hysteresis holds the latch at 0.86");
+
+        let ckpt = original.checkpoint();
+        let fit = original.model().linear_fit().clone();
+        let model = VoltageMapModel::from_parts(
+            original.model().sensor_indices().to_vec(),
+            original.model().num_candidates(),
+            fit.coefficients,
+            fit.intercept,
+            fit.rms_residual,
+        )
+        .unwrap();
+        let mut restored = EmergencyMonitor::restore(model, &ckpt).unwrap();
+        assert!(restored.is_alarmed(), "latched alarm survives restore");
+        assert_eq!(restored.stats(), original.stats());
+
+        for v in [0.86, 0.88, 0.84, 0.84, 0.9] {
+            let a = original.observe(&[v]).unwrap();
+            let b = restored.observe(&[v]).unwrap();
+            assert_eq!(a, b, "divergence at reading {v}");
+        }
+        assert_eq!(restored.stats(), original.stats());
+    }
+
+    #[test]
+    fn restore_revalidates_configuration() {
+        let good = EmergencyMonitor::new(model(), 0.85, 2, 0.0).unwrap().checkpoint();
+        let bad = MonitorCheckpoint {
+            threshold: f64::NAN,
+            ..good
+        };
+        assert!(EmergencyMonitor::restore(model(), &bad).is_err());
+        let bad = MonitorCheckpoint {
+            persistence: 0,
+            ..good
+        };
+        assert!(EmergencyMonitor::restore(model(), &bad).is_err());
+        // An out-of-range debounce count is clamped, not trusted.
+        let odd = MonitorCheckpoint {
+            consecutive: 99,
+            ..good
+        };
+        let m = EmergencyMonitor::restore(model(), &odd).unwrap();
+        assert_eq!(m.checkpoint().consecutive, 2);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_models() {
+        let fit = model().linear_fit().clone();
+        // Coefficients are 1x1 here; mismatched sensor counts must fail.
+        assert!(VoltageMapModel::from_parts(
+            vec![0, 1],
+            5,
+            fit.coefficients.clone(),
+            fit.intercept.clone(),
+            0.0
+        )
+        .is_err());
+        assert!(VoltageMapModel::from_parts(
+            vec![9],
+            5,
+            fit.coefficients.clone(),
+            fit.intercept.clone(),
+            0.0
+        )
+        .is_err());
+        assert!(VoltageMapModel::from_parts(
+            vec![0],
+            5,
+            fit.coefficients.clone(),
+            vec![f64::NAN],
+            0.0
+        )
+        .is_err());
+        assert!(
+            VoltageMapModel::from_parts(vec![0], 5, fit.coefficients, fit.intercept, 0.0).is_ok()
+        );
     }
 
     /// Three sensors driven by two shared droop signals (so each sensor is

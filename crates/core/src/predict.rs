@@ -65,6 +65,72 @@ impl VoltageMapModel {
         })
     }
 
+    /// Rebuilds a fitted model from serialized parts — the restore half of
+    /// a session checkpoint (see `voltsense-fleet`). No training data is
+    /// needed: the coefficients and intercept *are* the model, so a
+    /// restarted monitor resumes predicting without a refit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] when the parts are not mutually
+    /// consistent: empty or out-of-range sensor list, coefficient column
+    /// count differing from the sensor count, intercept length differing
+    /// from the coefficient row count, or a non-finite parameter.
+    pub fn from_parts(
+        sensors: Vec<usize>,
+        num_candidates: usize,
+        coefficients: Matrix,
+        intercept: Vec<f64>,
+        rms_residual: f64,
+    ) -> Result<Self, CoreError> {
+        if sensors.is_empty() {
+            return Err(CoreError::ShapeMismatch {
+                what: "sensor list is empty".into(),
+            });
+        }
+        if let Some(&bad) = sensors.iter().find(|&&s| s >= num_candidates) {
+            return Err(CoreError::ShapeMismatch {
+                what: format!("sensor index {bad} out of range for {num_candidates} candidates"),
+            });
+        }
+        if coefficients.cols() != sensors.len() {
+            return Err(CoreError::ShapeMismatch {
+                what: format!(
+                    "coefficients have {} columns for {} sensors",
+                    coefficients.cols(),
+                    sensors.len()
+                ),
+            });
+        }
+        if intercept.len() != coefficients.rows() {
+            return Err(CoreError::ShapeMismatch {
+                what: format!(
+                    "intercept has {} entries for {} coefficient rows",
+                    intercept.len(),
+                    coefficients.rows()
+                ),
+            });
+        }
+        let finite = coefficients.as_slice().iter().all(|v| v.is_finite())
+            && intercept.iter().all(|v| v.is_finite())
+            && rms_residual.is_finite()
+            && rms_residual >= 0.0;
+        if !finite {
+            return Err(CoreError::ShapeMismatch {
+                what: "model parts contain a non-finite parameter".into(),
+            });
+        }
+        Ok(VoltageMapModel {
+            sensor_indices: sensors,
+            fit: LinearFit {
+                coefficients,
+                intercept,
+                rms_residual,
+            },
+            num_candidates,
+        })
+    }
+
     /// Indices of the placed sensors within the candidate set.
     pub fn sensor_indices(&self) -> &[usize] {
         &self.sensor_indices

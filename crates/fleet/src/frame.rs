@@ -1,0 +1,525 @@
+//! Length-prefixed wire framing for the fleet monitor.
+//!
+//! Every frame is `[u32 LE body_len][u32 LE fnv1a32(body)][body]`, where
+//! the body is `[u8 kind][payload…]`. The checksum turns transport
+//! corruption — which the chaos harness injects on purpose — into a typed
+//! [`FrameError::Checksum`] instead of a silently misparsed reading, and
+//! the length prefix is validated against the configured maximum *before*
+//! any allocation, so an adversarial prefix can claim 4 GiB without the
+//! decoder ever reserving it.
+//!
+//! Framing errors are fatal for the connection that produced them: after
+//! a corrupt prefix the stream offset is unknowable, so the server closes
+//! and the client reconnects (its retry policy owns that). The decoder
+//! therefore stays permanently in the error state once poisoned.
+
+use std::fmt;
+
+/// Fixed prefix: 4-byte body length + 4-byte FNV-1a checksum of the body.
+pub const HEADER_LEN: usize = 8;
+
+/// Default upper bound on a frame body; readings at [`MAX_READINGS`] fit
+/// with generous margin.
+pub const DEFAULT_MAX_FRAME: usize = 64 * 1024;
+
+/// Most voltage readings one `Readings` frame may carry.
+pub const MAX_READINGS: usize = 4096;
+
+/// Longest UTF-8 message an `Error` frame may carry.
+pub const MAX_ERROR_MSG: usize = 512;
+
+/// 32-bit FNV-1a over `bytes` — tiny, dependency-free, and plenty to
+/// catch the single-byte flips and truncations chaos injects.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Why a byte sequence failed to decode. Every variant is a protocol
+/// violation that ends the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds the configured maximum frame size.
+    TooLarge {
+        /// Length the prefix claimed.
+        len: usize,
+        /// Configured maximum body length.
+        max: usize,
+    },
+    /// The body checksum did not match the header checksum.
+    Checksum {
+        /// Checksum the header carried.
+        expected: u32,
+        /// Checksum computed over the received body.
+        actual: u32,
+    },
+    /// The body's kind byte names no known frame type.
+    UnknownKind(u8),
+    /// The body ended before its declared payload was complete.
+    Truncated,
+    /// The body continued past its declared payload.
+    TrailingBytes,
+    /// A `Readings` frame declared more than [`MAX_READINGS`] values.
+    TooManyReadings(usize),
+    /// An `Error` frame declared a message longer than [`MAX_ERROR_MSG`].
+    MessageTooLong(usize),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds maximum {max}")
+            }
+            Self::Checksum { expected, actual } => {
+                write!(f, "frame checksum mismatch: header {expected:#010x}, body {actual:#010x}")
+            }
+            Self::UnknownKind(kind) => write!(f, "unknown frame kind {kind}"),
+            Self::Truncated => write!(f, "frame body truncated"),
+            Self::TrailingBytes => write!(f, "frame body has trailing bytes"),
+            Self::TooManyReadings(n) => {
+                write!(f, "readings frame declares {n} values (max {MAX_READINGS})")
+            }
+            Self::MessageTooLong(n) => {
+                write!(f, "error message of {n} bytes (max {MAX_ERROR_MSG})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Bit flags carried by a [`Frame::Decision`].
+pub mod decision_flags {
+    /// The session's alarm is currently asserted.
+    pub const ALARM: u8 = 1 << 0;
+    /// This decision is the rising edge of an alarm.
+    pub const RISING: u8 = 1 << 1;
+    /// The session is degraded (load was shed before this decision).
+    pub const DEGRADED: u8 = 1 << 2;
+}
+
+/// One protocol message. Integers are little-endian; voltages travel as
+/// `f64::to_le_bytes` (bit-exact, NaN-preserving — validation is the
+/// monitor's job, not the transport's).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: open or resume the session for `(tenant, chip)`.
+    /// The first `Hello` pins the connection to its tenant; later frames
+    /// for other tenants are a protocol violation.
+    Hello {
+        /// Tenant the connection authenticates as.
+        tenant: u64,
+        /// Chip whose monitor session this opens.
+        chip: u64,
+    },
+    /// Server → client: the session is open.
+    HelloAck {
+        /// Chip being acknowledged.
+        chip: u64,
+        /// True when the session resumed (in-memory or from checkpoint)
+        /// rather than being created fresh.
+        resumed: bool,
+        /// Alarm state at ack time — lets a reconnecting client confirm a
+        /// latched alarm survived the disconnect.
+        alarmed: bool,
+    },
+    /// Client → server: one batch of sensor readings for `chip`.
+    Readings {
+        /// Chip the readings belong to.
+        chip: u64,
+        /// Client-assigned sequence number, echoed in the decision.
+        seq: u64,
+        /// Sensor voltages, in the model's sensor order.
+        values: Vec<f64>,
+    },
+    /// Server → client: the monitor's verdict for one readings batch.
+    Decision {
+        /// Chip the decision is for.
+        chip: u64,
+        /// Sequence number of the readings batch this answers.
+        seq: u64,
+        /// [`decision_flags`] bit set.
+        flags: u8,
+        /// Minimum predicted critical-node voltage.
+        predicted_min: f64,
+    },
+    /// Server → client: the session is shedding load; back off.
+    Busy {
+        /// Chip whose readings were rejected.
+        chip: u64,
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u32,
+    },
+    /// Server → client: terminal session error (see [`error_code`]).
+    Error {
+        /// [`error_code`] discriminant.
+        code: u8,
+        /// Chip the error concerns (0 when not session-specific).
+        chip: u64,
+        /// Human-readable detail, at most [`MAX_ERROR_MSG`] bytes.
+        message: String,
+    },
+}
+
+/// Discriminants carried by [`Frame::Error`].
+pub mod error_code {
+    /// Readings arrived for a chip with no open session; re-`Hello`.
+    pub const UNKNOWN_SESSION: u8 = 1;
+    /// The session panicked and is quarantined.
+    pub const QUARANTINED: u8 = 2;
+    /// The connection broke the protocol (bad tenant, bad state).
+    pub const PROTOCOL: u8 = 3;
+    /// The monitor rejected the readings (wrong arity, etc.).
+    pub const REJECTED: u8 = 4;
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_READINGS: u8 = 2;
+const KIND_DECISION: u8 = 3;
+const KIND_BUSY: u8 = 4;
+const KIND_ERROR: u8 = 5;
+const KIND_HELLO_ACK: u8 = 6;
+
+impl Frame {
+    /// Serialize into a complete wire frame (header + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32);
+        match self {
+            Self::Hello { tenant, chip } => {
+                body.push(KIND_HELLO);
+                body.extend_from_slice(&tenant.to_le_bytes());
+                body.extend_from_slice(&chip.to_le_bytes());
+            }
+            Self::HelloAck { chip, resumed, alarmed } => {
+                body.push(KIND_HELLO_ACK);
+                body.extend_from_slice(&chip.to_le_bytes());
+                body.push(u8::from(*resumed));
+                body.push(u8::from(*alarmed));
+            }
+            Self::Readings { chip, seq, values } => {
+                body.push(KIND_READINGS);
+                body.extend_from_slice(&chip.to_le_bytes());
+                body.extend_from_slice(&seq.to_le_bytes());
+                body.extend_from_slice(&(values.len() as u32).to_le_bytes());
+                for v in values {
+                    body.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Self::Decision { chip, seq, flags, predicted_min } => {
+                body.push(KIND_DECISION);
+                body.extend_from_slice(&chip.to_le_bytes());
+                body.extend_from_slice(&seq.to_le_bytes());
+                body.push(*flags);
+                body.extend_from_slice(&predicted_min.to_le_bytes());
+            }
+            Self::Busy { chip, retry_after_ms } => {
+                body.push(KIND_BUSY);
+                body.extend_from_slice(&chip.to_le_bytes());
+                body.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
+            Self::Error { code, chip, message } => {
+                body.push(KIND_ERROR);
+                body.push(*code);
+                body.extend_from_slice(&chip.to_le_bytes());
+                let msg = message.as_bytes();
+                let len = msg.len().min(MAX_ERROR_MSG);
+                body.extend_from_slice(&(len as u16).to_le_bytes());
+                body.extend_from_slice(&msg[..len]);
+            }
+        }
+        let mut frame = Vec::with_capacity(HEADER_LEN + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        frame
+    }
+
+    /// Decode one body (kind byte + payload, checksum already verified).
+    fn decode_body(body: &[u8]) -> Result<Self, FrameError> {
+        let mut r = Reader { bytes: body, pos: 0 };
+        let kind = r.u8()?;
+        let frame = match kind {
+            KIND_HELLO => Self::Hello { tenant: r.u64()?, chip: r.u64()? },
+            KIND_HELLO_ACK => Self::HelloAck {
+                chip: r.u64()?,
+                resumed: r.u8()? != 0,
+                alarmed: r.u8()? != 0,
+            },
+            KIND_READINGS => {
+                let chip = r.u64()?;
+                let seq = r.u64()?;
+                let count = r.u32()? as usize;
+                if count > MAX_READINGS {
+                    return Err(FrameError::TooManyReadings(count));
+                }
+                // `count` is now bounded, and the body itself already
+                // passed the frame-size cap: safe to allocate.
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(r.f64()?);
+                }
+                Self::Readings { chip, seq, values }
+            }
+            KIND_DECISION => Self::Decision {
+                chip: r.u64()?,
+                seq: r.u64()?,
+                flags: r.u8()?,
+                predicted_min: r.f64()?,
+            },
+            KIND_BUSY => Self::Busy { chip: r.u64()?, retry_after_ms: r.u32()? },
+            KIND_ERROR => {
+                let code = r.u8()?;
+                let chip = r.u64()?;
+                let len = r.u16()? as usize;
+                if len > MAX_ERROR_MSG {
+                    return Err(FrameError::MessageTooLong(len));
+                }
+                let raw = r.take(len)?;
+                Self::Error {
+                    code,
+                    chip,
+                    message: String::from_utf8_lossy(raw).into_owned(),
+                }
+            }
+            other => return Err(FrameError::UnknownKind(other)),
+        };
+        if r.pos != body.len() {
+            return Err(FrameError::TrailingBytes);
+        }
+        Ok(frame)
+    }
+}
+
+/// Cursor over a frame body; every read is bounds-checked into
+/// [`FrameError::Truncated`].
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).ok_or(FrameError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(FrameError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Incremental decoder over a byte stream with arbitrary chunking.
+///
+/// Feed raw bytes with [`push`](Self::push), then drain frames with
+/// [`next`](Self::next). The internal buffer is bounded by
+/// `HEADER_LEN + max_frame` plus one network read — oversized length
+/// prefixes are rejected before the body is buffered or allocated. After
+/// any error the decoder is poisoned: `next` keeps returning the same
+/// error, because a corrupt prefix makes every later offset meaningless.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    max_frame: usize,
+    poisoned: Option<FrameError>,
+}
+
+impl FrameDecoder {
+    /// Decoder accepting bodies up to `max_frame` bytes.
+    pub fn new(max_frame: usize) -> Self {
+        Self { buf: Vec::new(), max_frame, poisoned: None }
+    }
+
+    /// Append raw stream bytes. Ignored once the decoder is poisoned —
+    /// the connection is already doomed, so don't grow the buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_none() {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Bytes currently buffered (for backpressure accounting and the
+    /// never-over-allocates property test).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decode the next complete frame, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes"; any `Err` is terminal for the
+    /// stream (see the poisoning note on the type).
+    pub fn next(&mut self) -> Result<Option<Frame>, FrameError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > self.max_frame {
+            return Err(self.poison(FrameError::TooLarge { len, max: self.max_frame }));
+        }
+        if self.buf.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let expected =
+            u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
+        let body = &self.buf[HEADER_LEN..HEADER_LEN + len];
+        let actual = fnv1a32(body);
+        if actual != expected {
+            return Err(self.poison(FrameError::Checksum { expected, actual }));
+        }
+        match Frame::decode_body(body) {
+            Ok(frame) => {
+                self.buf.drain(..HEADER_LEN + len);
+                Ok(Some(frame))
+            }
+            Err(e) => Err(self.poison(e)),
+        }
+    }
+
+    fn poison(&mut self, err: FrameError) -> FrameError {
+        self.buf.clear();
+        self.poisoned = Some(err.clone());
+        err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let wire = frame.encode();
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.push(&wire);
+        assert_eq!(dec.next().unwrap(), Some(frame));
+        assert_eq!(dec.next().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn every_kind_roundtrips() {
+        roundtrip(Frame::Hello { tenant: 7, chip: 42 });
+        roundtrip(Frame::HelloAck { chip: 42, resumed: true, alarmed: false });
+        roundtrip(Frame::Readings { chip: 1, seq: 99, values: vec![0.95, 0.83, f64::NAN.min(0.9)] });
+        roundtrip(Frame::Decision {
+            chip: 1,
+            seq: 99,
+            flags: decision_flags::ALARM | decision_flags::RISING,
+            predicted_min: 0.791,
+        });
+        roundtrip(Frame::Busy { chip: 3, retry_after_ms: 250 });
+        roundtrip(Frame::Error {
+            code: error_code::UNKNOWN_SESSION,
+            chip: 5,
+            message: "no session".into(),
+        });
+    }
+
+    #[test]
+    fn nan_readings_survive_the_wire_bit_exactly() {
+        let wire = Frame::Readings { chip: 0, seq: 0, values: vec![f64::NAN] }.encode();
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.push(&wire);
+        match dec.next().unwrap() {
+            Some(Frame::Readings { values, .. }) => {
+                assert_eq!(values[0].to_bits(), f64::NAN.to_bits());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_chunking_decodes_identically() {
+        let frames = [
+            Frame::Hello { tenant: 1, chip: 2 },
+            Frame::Readings { chip: 2, seq: 0, values: vec![0.9; 17] },
+            Frame::Busy { chip: 2, retry_after_ms: 10 },
+        ];
+        let wire: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let mut out = Vec::new();
+        for byte in wire {
+            dec.push(&[byte]);
+            while let Some(frame) = dec.next().unwrap() {
+                out.push(frame);
+            }
+        }
+        assert_eq!(out.as_slice(), frames.as_slice());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_buffering_a_body() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut wire = (u32::MAX).to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0; 4]);
+        dec.push(&wire);
+        match dec.next() {
+            Err(FrameError::TooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Poisoned: same error again, and pushes are dropped.
+        dec.push(&[0; 64]);
+        assert_eq!(dec.buffered(), 0);
+        assert!(matches!(dec.next(), Err(FrameError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn corrupt_byte_is_a_checksum_error() {
+        let mut wire = Frame::Hello { tenant: 9, chip: 9 }.encode();
+        let last = wire.len() - 1;
+        wire[last] ^= 0x40;
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.push(&wire);
+        assert!(matches!(dec.next(), Err(FrameError::Checksum { .. })));
+    }
+
+    #[test]
+    fn readings_count_is_capped_independently_of_frame_size() {
+        // A body that *claims* MAX_READINGS+1 values but is otherwise tiny:
+        // the count cap must fire (Truncated would also be safe, but the
+        // cap check comes first so the error names the real violation).
+        let mut body = vec![2u8]; // KIND_READINGS
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&((MAX_READINGS as u32) + 1).to_le_bytes());
+        let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&fnv1a32(&body).to_le_bytes());
+        wire.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.push(&wire);
+        assert!(matches!(dec.next(), Err(FrameError::TooManyReadings(_))));
+    }
+}

@@ -1,0 +1,69 @@
+//! Fleet counters flowing into the existing telemetry `/metrics` endpoint.
+//!
+//! Telemetry metric names are `&'static str`. Global fleet counters use
+//! literals; per-tenant names are interned once per `(tenant, metric)`
+//! via `Box::leak` behind a registry, so the leak is bounded by the
+//! number of distinct tenants actually seen — a deliberate, documented
+//! trade for zero-dependency static-name metrics.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use voltsense_telemetry as telemetry;
+
+/// Total frames decoded by the server (all kinds).
+pub const FRAMES_TOTAL: &str = "fleet.frames_total";
+/// Readings batches dropped oldest-first under overload.
+pub const SHED_TOTAL: &str = "fleet.shed_total";
+/// Readings batches refused with a `Busy` backoff hint.
+pub const REJECTED_TOTAL: &str = "fleet.rejected_total";
+/// Rejecting → Accepting recoveries.
+pub const RECOVERIES_TOTAL: &str = "fleet.recoveries_total";
+/// Sessions quarantined after a monitor panic.
+pub const QUARANTINED_TOTAL: &str = "fleet.quarantined_total";
+/// Idle sessions evicted (checkpointed and dropped).
+pub const EVICTED_TOTAL: &str = "fleet.evicted_total";
+/// Checkpoint documents written.
+pub const CHECKPOINTS_TOTAL: &str = "fleet.checkpoints_total";
+/// Sessions resumed from an on-disk checkpoint.
+pub const RESTORES_TOTAL: &str = "fleet.restores_total";
+/// Connections closed on a framing error.
+pub const DECODE_ERRORS_TOTAL: &str = "fleet.decode_errors_total";
+/// Response frames dropped because the client connection was dead.
+pub const RESPONSES_DROPPED_TOTAL: &str = "fleet.responses_dropped_total";
+/// Checkpoint writes that failed (degraded to this counter, never fatal).
+pub const CHECKPOINT_FAILURES_TOTAL: &str = "fleet.checkpoint_failures_total";
+/// Live sessions gauge.
+pub const SESSIONS_GAUGE: &str = "fleet.sessions";
+
+static TENANT_NAMES: Mutex<BTreeMap<(u64, &'static str), &'static str>> =
+    Mutex::new(BTreeMap::new());
+
+/// The interned `fleet.tenant.<id>.<metric>` name for a per-tenant
+/// counter. Interns on first use; every later call is a map hit.
+pub fn tenant_metric(tenant: u64, metric: &'static str) -> &'static str {
+    let mut names = TENANT_NAMES.lock().unwrap_or_else(|e| e.into_inner());
+    names
+        .entry((tenant, metric))
+        .or_insert_with(|| Box::leak(format!("fleet.tenant.{tenant}.{metric}").into_boxed_str()))
+}
+
+/// Bump a global counter and its per-tenant twin.
+pub fn count(tenant: u64, global: &'static str, metric: &'static str, delta: u64) {
+    telemetry::counter(global, delta);
+    telemetry::counter(tenant_metric(tenant, metric), delta);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_names_are_interned_not_regrown() {
+        let a = tenant_metric(7, "frames");
+        let b = tenant_metric(7, "frames");
+        assert!(std::ptr::eq(a, b), "same (tenant, metric) must intern to one leak");
+        assert_eq!(a, "fleet.tenant.7.frames");
+        assert_ne!(tenant_metric(8, "frames"), a);
+    }
+}

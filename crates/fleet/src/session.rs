@@ -1,0 +1,454 @@
+//! Per-chip monitor sessions and the ingestion degradation ladder.
+//!
+//! A session owns one [`ChipMonitor`] (in production an
+//! [`EmergencyMonitor`]) plus a bounded queue of readings awaiting
+//! processing. Ingestion degrades in explicit, counted steps instead of
+//! growing without bound:
+//!
+//! 1. **Accepting** — readings are queued; the shard drains them.
+//! 2. **Shedding** — the queue is full: the *oldest* queued batch is
+//!    dropped to admit the new one (`fleet.shed_total`). Newest-wins,
+//!    because an emergency monitor cares about the current voltage, not
+//!    history; decisions made after a shed carry the `DEGRADED` flag.
+//! 3. **Rejecting** — sustained overload (a shed streak reaching the
+//!    configured threshold): readings are refused outright with a
+//!    [`Frame::Busy`] backoff hint (`fleet.rejected_total`) until the
+//!    drain catches up to the low watermark (`fleet.recoveries_total`).
+//! 4. **Quarantined** — the monitor panicked. The session is terminal,
+//!    answers every frame with an error, and never touches its neighbors
+//!    (`fleet.quarantined_total`); the panic payload went to
+//!    `telemetry::incident`.
+//!
+//! Sessions are keyed by `(tenant, chip)`: two tenants naming the same
+//! chip id get disjoint sessions by construction, which is the
+//! cross-tenant isolation property the chaos suite pins.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use voltsense_core::{CoreError, EmergencyMonitor, MonitorDecision};
+
+use crate::frame::{decision_flags, Frame};
+
+/// Session identity: tenant first, so tenant isolation is structural.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionKey {
+    /// Owning tenant.
+    pub tenant: u64,
+    /// Chip within that tenant's fleet.
+    pub chip: u64,
+}
+
+/// What a session needs from its monitor. `EmergencyMonitor` is the real
+/// implementation; tests substitute panicking or recording monitors to
+/// pin quarantine behavior without a real model.
+pub trait ChipMonitor: Send {
+    /// Feed one batch of sensor readings; returns the alarm decision.
+    fn observe(&mut self, readings: &[f64]) -> Result<MonitorDecision, CoreError>;
+    /// Current latched-alarm state.
+    fn is_alarmed(&self) -> bool;
+    /// Serialized checkpoint document, or `None` when this monitor kind
+    /// does not persist (a restarted server then starts it fresh).
+    fn checkpoint_json(&self, key: SessionKey) -> Option<String>;
+}
+
+impl ChipMonitor for EmergencyMonitor {
+    fn observe(&mut self, readings: &[f64]) -> Result<MonitorDecision, CoreError> {
+        EmergencyMonitor::observe(self, readings)
+    }
+
+    fn is_alarmed(&self) -> bool {
+        EmergencyMonitor::is_alarmed(self)
+    }
+
+    fn checkpoint_json(&self, key: SessionKey) -> Option<String> {
+        Some(crate::checkpoint::to_json(key, self))
+    }
+}
+
+/// Ladder position. See the module docs for the transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Queueing normally.
+    Accepting,
+    /// Dropping oldest to admit newest.
+    Shedding,
+    /// Refusing readings with a backoff hint.
+    Rejecting,
+    /// Terminal: the monitor panicked.
+    Quarantined,
+}
+
+/// Knobs for one session's queue and ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct LadderConfig {
+    /// Most readings batches queued before shedding starts.
+    pub queue_capacity: usize,
+    /// Consecutive sheds that escalate Shedding → Rejecting.
+    pub shed_streak_threshold: usize,
+    /// Backoff hint sent with [`Frame::Busy`] while Rejecting.
+    pub busy_retry_ms: u32,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        Self { queue_capacity: 64, shed_streak_threshold: 8, busy_retry_ms: 50 }
+    }
+}
+
+/// Counters one session accumulates (also mirrored into global telemetry
+/// by the server; these per-session copies feed tests and checkpoints).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Readings batches accepted into the queue.
+    pub accepted: u64,
+    /// Batches dropped oldest-first under overload.
+    pub shed: u64,
+    /// Batches refused while Rejecting.
+    pub rejected: u64,
+    /// Rejecting → Accepting recoveries.
+    pub recoveries: u64,
+    /// Decisions produced by the monitor.
+    pub decisions: u64,
+}
+
+/// How the session answered one offered readings batch.
+#[derive(Debug, PartialEq)]
+pub enum Offer {
+    /// Queued; a decision will follow from the shard drain.
+    Queued,
+    /// Queued, but an older batch was dropped to make room.
+    QueuedAfterShed,
+    /// Refused; the caller should relay the contained `Busy` frame.
+    Rejected(Frame),
+    /// The session is quarantined; relay the contained error frame.
+    Quarantined(Frame),
+}
+
+/// One `(tenant, chip)` monitor session.
+pub struct Session {
+    key: SessionKey,
+    monitor: Box<dyn ChipMonitor>,
+    queue: VecDeque<(u64, Vec<f64>)>,
+    ladder: LadderConfig,
+    state: SessionState,
+    shed_streak: usize,
+    /// Set when load was shed since the last decision; the next decision
+    /// carries `DEGRADED` so the client knows its view has gaps.
+    degraded: bool,
+    counters: SessionCounters,
+    last_activity: Instant,
+    samples_since_checkpoint: usize,
+    /// Set when the alarm edge or sample count makes a checkpoint due;
+    /// cleared by the server once it persists.
+    checkpoint_due: bool,
+}
+
+impl Session {
+    /// New session around `monitor`.
+    pub fn new(key: SessionKey, monitor: Box<dyn ChipMonitor>, ladder: LadderConfig) -> Self {
+        Self {
+            key,
+            monitor,
+            queue: VecDeque::new(),
+            ladder,
+            state: SessionState::Accepting,
+            shed_streak: 0,
+            degraded: false,
+            counters: SessionCounters::default(),
+            last_activity: Instant::now(),
+            samples_since_checkpoint: 0,
+            checkpoint_due: false,
+        }
+    }
+
+    /// Session identity.
+    pub fn key(&self) -> SessionKey {
+        self.key
+    }
+
+    /// Current ladder position.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Per-session counters so far.
+    pub fn counters(&self) -> SessionCounters {
+        self.counters
+    }
+
+    /// Latched-alarm state of the underlying monitor.
+    pub fn is_alarmed(&self) -> bool {
+        self.monitor.is_alarmed()
+    }
+
+    /// Instant of the last offer or drain touching this session.
+    pub fn last_activity(&self) -> Instant {
+        self.last_activity
+    }
+
+    /// Whether the checkpoint policy wants this session persisted now.
+    pub fn checkpoint_due(&self) -> bool {
+        self.checkpoint_due
+    }
+
+    /// Serialized checkpoint, resetting the due flag and sample counter.
+    pub fn take_checkpoint(&mut self) -> Option<String> {
+        self.checkpoint_due = false;
+        self.samples_since_checkpoint = 0;
+        self.monitor.checkpoint_json(self.key)
+    }
+
+    /// Batches currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Offer one readings batch to the ladder.
+    pub fn offer(&mut self, seq: u64, values: Vec<f64>) -> Offer {
+        self.last_activity = Instant::now();
+        match self.state {
+            SessionState::Quarantined => Offer::Quarantined(self.quarantine_frame()),
+            SessionState::Rejecting => {
+                self.counters.rejected += 1;
+                Offer::Rejected(Frame::Busy {
+                    chip: self.key.chip,
+                    retry_after_ms: self.ladder.busy_retry_ms,
+                })
+            }
+            SessionState::Accepting | SessionState::Shedding => {
+                if self.queue.len() < self.ladder.queue_capacity {
+                    self.queue.push_back((seq, values));
+                    self.counters.accepted += 1;
+                    return Offer::Queued;
+                }
+                // Full: drop oldest, admit newest, count the shed.
+                self.queue.pop_front();
+                self.queue.push_back((seq, values));
+                self.counters.accepted += 1;
+                self.counters.shed += 1;
+                self.shed_streak += 1;
+                self.degraded = true;
+                if self.shed_streak >= self.ladder.shed_streak_threshold {
+                    self.state = SessionState::Rejecting;
+                } else {
+                    self.state = SessionState::Shedding;
+                }
+                Offer::QueuedAfterShed
+            }
+        }
+    }
+
+    /// Drain up to `budget` queued batches through the monitor, returning
+    /// the response frames to relay (decisions, or one error frame if the
+    /// monitor rejects its input).
+    ///
+    /// The *caller* is responsible for panic containment: run this inside
+    /// `catch_unwind` and call [`quarantine`](Self::quarantine) if it
+    /// unwinds. (The session cannot catch its own panic — the unwind
+    /// leaves `self` mid-mutation, which is exactly what quarantine is
+    /// for.)
+    pub fn drain(&mut self, budget: usize, checkpoint_interval: usize) -> Vec<Frame> {
+        let mut out = Vec::new();
+        for _ in 0..budget {
+            let Some((seq, values)) = self.queue.pop_front() else { break };
+            self.last_activity = Instant::now();
+            let was_alarmed = self.monitor.is_alarmed();
+            match self.monitor.observe(&values) {
+                Ok(decision) => {
+                    self.counters.decisions += 1;
+                    self.samples_since_checkpoint += 1;
+                    let mut flags = 0u8;
+                    if decision.alarm {
+                        flags |= decision_flags::ALARM;
+                    }
+                    if decision.rising_edge {
+                        flags |= decision_flags::RISING;
+                    }
+                    if self.degraded {
+                        flags |= decision_flags::DEGRADED;
+                        self.degraded = false;
+                    }
+                    // Alarm edges are the durability-critical moments: a
+                    // kill -9 after this decision must not forget them.
+                    if decision.alarm != was_alarmed
+                        || decision.rising_edge
+                        || self.samples_since_checkpoint >= checkpoint_interval
+                    {
+                        self.checkpoint_due = true;
+                    }
+                    out.push(Frame::Decision {
+                        chip: self.key.chip,
+                        seq,
+                        flags,
+                        predicted_min: decision.predicted_min,
+                    });
+                }
+                Err(e) => {
+                    out.push(Frame::Error {
+                        code: crate::frame::error_code::REJECTED,
+                        chip: self.key.chip,
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        // Draining below the low watermark de-escalates the ladder.
+        if self.state != SessionState::Quarantined
+            && self.queue.len() <= self.ladder.queue_capacity / 2
+        {
+            if self.state == SessionState::Rejecting {
+                self.counters.recoveries += 1;
+            }
+            if self.state != SessionState::Accepting {
+                self.state = SessionState::Accepting;
+                self.shed_streak = 0;
+            }
+        }
+        out
+    }
+
+    /// Mark the session terminally quarantined (the monitor panicked).
+    pub fn quarantine(&mut self) {
+        self.state = SessionState::Quarantined;
+        self.queue.clear();
+    }
+
+    /// The error frame a quarantined session answers everything with.
+    pub fn quarantine_frame(&self) -> Frame {
+        Frame::Error {
+            code: crate::frame::error_code::QUARANTINED,
+            chip: self.key.chip,
+            message: "session quarantined after a monitor panic".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Monitor double: records inputs, alarms when told, never panics.
+    struct ScriptedMonitor {
+        alarmed: bool,
+        seen: usize,
+    }
+
+    impl ChipMonitor for ScriptedMonitor {
+        fn observe(&mut self, readings: &[f64]) -> Result<MonitorDecision, CoreError> {
+            self.seen += 1;
+            if readings.first().copied().unwrap_or(1.0) < 0.8 {
+                self.alarmed = true;
+            }
+            Ok(MonitorDecision {
+                predicted_min: readings.first().copied().unwrap_or(1.0),
+                worst_block: 0,
+                alarm: self.alarmed,
+                rising_edge: false,
+                health: None,
+            })
+        }
+
+        fn is_alarmed(&self) -> bool {
+            self.alarmed
+        }
+
+        fn checkpoint_json(&self, _key: SessionKey) -> Option<String> {
+            None
+        }
+    }
+
+    fn session(capacity: usize, streak: usize) -> Session {
+        Session::new(
+            SessionKey { tenant: 1, chip: 1 },
+            Box::new(ScriptedMonitor { alarmed: false, seen: 0 }),
+            LadderConfig {
+                queue_capacity: capacity,
+                shed_streak_threshold: streak,
+                busy_retry_ms: 25,
+            },
+        )
+    }
+
+    #[test]
+    fn ladder_escalates_shed_then_reject_then_recovers() {
+        let mut s = session(2, 3);
+        assert_eq!(s.offer(0, vec![0.9]), Offer::Queued);
+        assert_eq!(s.offer(1, vec![0.9]), Offer::Queued);
+        // Queue full: three consecutive sheds escalate to Rejecting.
+        assert_eq!(s.offer(2, vec![0.9]), Offer::QueuedAfterShed);
+        assert_eq!(s.state(), SessionState::Shedding);
+        assert_eq!(s.offer(3, vec![0.9]), Offer::QueuedAfterShed);
+        assert_eq!(s.offer(4, vec![0.9]), Offer::QueuedAfterShed);
+        assert_eq!(s.state(), SessionState::Rejecting);
+        match s.offer(5, vec![0.9]) {
+            Offer::Rejected(Frame::Busy { retry_after_ms, .. }) => assert_eq!(retry_after_ms, 25),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let c = s.counters();
+        assert_eq!((c.shed, c.rejected), (3, 1));
+        // Shed kept the *newest* batches: seqs 3 and 4.
+        let frames = s.drain(16, usize::MAX);
+        let seqs: Vec<u64> = frames
+            .iter()
+            .map(|f| match f {
+                Frame::Decision { seq, flags, .. } => {
+                    assert!(flags & decision_flags::DEGRADED != 0 || *seq == 4);
+                    *seq
+                }
+                other => panic!("unexpected: {other:?}"),
+            })
+            .collect();
+        assert_eq!(seqs, vec![3, 4]);
+        // Drained below the watermark: recovered, accepts again.
+        assert_eq!(s.state(), SessionState::Accepting);
+        assert_eq!(s.counters().recoveries, 1);
+        assert_eq!(s.offer(6, vec![0.9]), Offer::Queued);
+    }
+
+    #[test]
+    fn first_decision_after_a_shed_is_flagged_degraded() {
+        let mut s = session(1, 10);
+        s.offer(0, vec![0.9]);
+        s.offer(1, vec![0.9]); // sheds seq 0
+        let frames = s.drain(16, usize::MAX);
+        match frames.as_slice() {
+            [Frame::Decision { seq: 1, flags, .. }] => {
+                assert_ne!(flags & decision_flags::DEGRADED, 0);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Degraded is edge-triggered, not sticky.
+        s.offer(2, vec![0.9]);
+        match s.drain(16, usize::MAX).as_slice() {
+            [Frame::Decision { flags, .. }] => assert_eq!(flags & decision_flags::DEGRADED, 0),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantined_session_is_terminal() {
+        let mut s = session(4, 2);
+        s.quarantine();
+        assert_eq!(s.state(), SessionState::Quarantined);
+        match s.offer(0, vec![0.9]) {
+            Offer::Quarantined(Frame::Error { code, .. }) => {
+                assert_eq!(code, crate::frame::error_code::QUARANTINED);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(s.drain(16, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_due_on_sample_interval() {
+        let mut s = session(8, 4);
+        for seq in 0..3 {
+            s.offer(seq, vec![0.9]);
+        }
+        s.drain(16, 3);
+        assert!(s.checkpoint_due());
+        s.take_checkpoint();
+        assert!(!s.checkpoint_due());
+    }
+}

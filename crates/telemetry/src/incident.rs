@@ -98,6 +98,7 @@ pub fn report(incident: &Incident) -> Option<PathBuf> {
         Ok(path) => Some(path),
         Err(e) => {
             eprintln!("[telemetry] failed to write {} incident: {e}", incident.kind);
+            crate::counter("incident.write_failures", 1);
             None
         }
     }

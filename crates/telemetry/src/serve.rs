@@ -11,16 +11,23 @@
 //! **Security posture**: the server speaks unauthenticated plaintext HTTP
 //! and must not face untrusted networks. A bare port (`VOLTSENSE_TELEMETRY_ADDR=9184`)
 //! therefore binds `127.0.0.1`; exposing it wider requires spelling out an
-//! explicit bind address. Requests are read with a hard timeout and a
-//! bounded header buffer, so a stuck client cannot wedge the serve thread
-//! for long.
+//! explicit bind address.
+//!
+//! **Robustness posture**: the accept loop handles one connection at a
+//! time, so a hostile or broken client must never wedge it. Each request
+//! head is read under a hard wall-clock deadline
+//! (`VOLTSENSE_TELEMETRY_READ_DEADLINE_MS`, default 5000) and a bounded
+//! buffer ([`MAX_HEAD`]): a slow-loris client trickling bytes gets `408
+//! Request Timeout` when the deadline expires, and an oversized request
+//! head gets `413 Content Too Large` the moment the bound is exceeded —
+//! in both cases the connection is answered and closed instead of hanging.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::export::Snapshot;
 use crate::prom;
@@ -64,7 +71,9 @@ impl Drop for Server {
 /// picks a free port — read the result from [`Server::addr`]. If
 /// `VOLTSENSE_TELEMETRY_ADDR_FILE` is set, the bound address is also
 /// written there so an out-of-process scraper can discover an
-/// OS-assigned port.
+/// OS-assigned port; a failed address-file write is reported (stderr +
+/// `telemetry.addr_file_failures` counter) but does not stop the server —
+/// the endpoint itself is healthy.
 pub fn serve(addr: &str, source: SnapshotSource) -> std::io::Result<Server> {
     let addr = if addr.contains(':') {
         addr.to_string()
@@ -74,7 +83,10 @@ pub fn serve(addr: &str, source: SnapshotSource) -> std::io::Result<Server> {
     let listener = TcpListener::bind(&addr)?;
     let addr = listener.local_addr()?;
     if let Some(path) = crate::env::value("VOLTSENSE_TELEMETRY_ADDR_FILE") {
-        std::fs::write(&path, addr.to_string())?;
+        if let Err(e) = std::fs::write(&path, addr.to_string()) {
+            eprintln!("[telemetry] cannot write address file {path}: {e}");
+            crate::counter("telemetry.addr_file_failures", 1);
+        }
     }
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = stop.clone();
@@ -101,43 +113,103 @@ pub fn serve(addr: &str, source: SnapshotSource) -> std::io::Result<Server> {
 /// Largest request head (request line + headers) we will buffer.
 const MAX_HEAD: usize = 8 * 1024;
 
-fn handle(mut stream: TcpStream, source: &SnapshotSource) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+/// Default wall-clock budget for receiving a complete request head.
+const DEFAULT_READ_DEADLINE_MS: u64 = 5_000;
 
-    // Read until the blank line ending the request head (or give up).
+/// How the head-read phase of a request ended.
+enum HeadRead {
+    /// Complete head (terminated by a blank line) or clean EOF.
+    Complete(Vec<u8>),
+    /// The deadline expired before the head terminator arrived.
+    TimedOut,
+    /// The head exceeded [`MAX_HEAD`] without a terminator.
+    TooLarge,
+}
+
+/// Read the request head under the deadline/size bounds. Transport errors
+/// other than timeouts end the read as if the peer closed (whatever was
+/// buffered is processed; an empty head falls out as a 405/404).
+fn read_head(stream: &mut TcpStream, deadline: Instant) -> HeadRead {
     let mut head = Vec::with_capacity(512);
     let mut buf = [0u8; 512];
     loop {
-        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_HEAD {
-            break;
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            return HeadRead::Complete(head);
+        }
+        if head.len() >= MAX_HEAD {
+            return HeadRead::TooLarge;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return HeadRead::TimedOut;
+        }
+        // Bound each read() by the remaining budget so a byte-at-a-time
+        // client cannot extend its welcome by resetting a per-read timer.
+        let remaining = (deadline - now).min(Duration::from_secs(2));
+        if stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1)))).is_err() {
+            return HeadRead::Complete(head);
         }
         match stream.read(&mut buf) {
-            Ok(0) => break,
+            Ok(0) => return HeadRead::Complete(head),
             Ok(n) => head.extend_from_slice(&buf[..n]),
-            Err(_) => break,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Loop re-checks the deadline; a timeout mid-budget (spurious
+                // wakeup shorter than `remaining`) just retries.
+            }
+            Err(_) => return HeadRead::Complete(head),
         }
     }
-    let head = String::from_utf8_lossy(&head);
-    let mut parts = head.lines().next().unwrap_or_default().split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+}
 
-    let (status, content_type, body) = if method != "GET" {
-        ("405 Method Not Allowed", "text/plain", "only GET is supported\n".to_string())
-    } else {
-        match path {
-            "/metrics" => (
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                prom::encode(&source()),
-            ),
-            "/snapshot" => ("200 OK", "application/json", source().to_json()),
-            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
-            _ => (
-                "404 Not Found",
+fn handle(mut stream: TcpStream, source: &SnapshotSource) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let budget_ms = crate::env::parse::<u64>("VOLTSENSE_TELEMETRY_READ_DEADLINE_MS")
+        .filter(|&ms| ms > 0)
+        .unwrap_or(DEFAULT_READ_DEADLINE_MS);
+    let deadline = Instant::now() + Duration::from_millis(budget_ms);
+
+    let (status, content_type, body) = match read_head(&mut stream, deadline) {
+        HeadRead::TimedOut => {
+            crate::counter("telemetry.serve_timeouts", 1);
+            (
+                "408 Request Timeout",
                 "text/plain",
-                "routes: /metrics /snapshot /healthz\n".to_string(),
-            ),
+                "request head not received within the read deadline\n".to_string(),
+            )
+        }
+        HeadRead::TooLarge => {
+            crate::counter("telemetry.serve_oversized", 1);
+            (
+                "413 Content Too Large",
+                "text/plain",
+                format!("request head exceeds {MAX_HEAD} bytes\n"),
+            )
+        }
+        HeadRead::Complete(head) => {
+            let head = String::from_utf8_lossy(&head);
+            let mut parts = head.lines().next().unwrap_or_default().split_whitespace();
+            let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            if method != "GET" {
+                ("405 Method Not Allowed", "text/plain", "only GET is supported\n".to_string())
+            } else {
+                match path {
+                    "/metrics" => (
+                        "200 OK",
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        prom::encode(&source()),
+                    ),
+                    "/snapshot" => ("200 OK", "application/json", source().to_json()),
+                    "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+                    _ => (
+                        "404 Not Found",
+                        "text/plain",
+                        "routes: /metrics /snapshot /healthz\n".to_string(),
+                    ),
+                }
+            }
         }
     };
     let response = format!(

@@ -99,6 +99,50 @@ fn endpoint_serves_metrics_snapshot_and_healthz() {
 }
 
 #[test]
+fn stalled_head_gets_408_instead_of_wedging_the_loop() {
+    // Per-connection deadline is read per request, so a short budget here
+    // only affects connections opened while this test runs.
+    std::env::set_var("VOLTSENSE_TELEMETRY_READ_DEADLINE_MS", "400");
+    let source: SnapshotSource = Arc::new(|| FlightRecorder::new(1).snapshot("loris"));
+    let server = serve("127.0.0.1:0", source).expect("bind");
+    let addr = server.addr();
+
+    // A slow-loris client: send a partial request line, then stall.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(b"GET /metri").expect("send partial head");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.contains("408"), "expected 408, got: {response}");
+
+    // The loop is not wedged: a well-formed scrape still answers.
+    let (status, _, body) = get(addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, "ok\n");
+    std::env::remove_var("VOLTSENSE_TELEMETRY_READ_DEADLINE_MS");
+}
+
+#[test]
+fn oversized_head_gets_413_not_processed() {
+    let source: SnapshotSource = Arc::new(|| FlightRecorder::new(1).snapshot("oversize"));
+    let server = serve("127.0.0.1:0", source).expect("bind");
+    let addr = server.addr();
+
+    // Exactly MAX_HEAD bytes with no terminator: the server consumes all
+    // of it (no unread data to RST on) and must refuse rather than parse.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(&vec![b'a'; 8 * 1024]).expect("send oversized head");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.contains("413"), "expected 413, got: {response}");
+
+    // Follow-up request on a fresh connection still works.
+    let (status, _, _) = get(addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+}
+
+#[test]
 fn bare_port_binds_loopback() {
     let source: SnapshotSource = Arc::new(|| FlightRecorder::new(1).snapshot("loopback"));
     // Bare "0": loopback by default — the documented security posture.

@@ -74,3 +74,7 @@ pub use voltsense_telemetry as telemetry;
 /// Data-parallel runtime: scoped thread pool with deterministic static
 /// chunking ([`voltsense_parallel`]).
 pub use voltsense_parallel as parallel;
+
+/// Multi-tenant monitor serving: framing, degradation ladder,
+/// checkpoint/restore, chaos harness ([`voltsense_fleet`]).
+pub use voltsense_fleet as fleet;
