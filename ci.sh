@@ -64,15 +64,35 @@ cargo run --release --offline -p voltsense-bench --bin validate_incident -- \
     --expect-ring-event monitor.alarm --expect-attribution \
     "$obs_dir"/incidents/*.json
 
-echo "==> fleet chaos smoke (seeded soak + kill -9 restart resume)"
+echo "==> fleet chaos smoke (seeded soak + restart resume + /trace + /slo scrape)"
 # Chaos schedule is replayable from the seed; the binary hard-asserts
-# zero server panics, latch-through-reconnect, and an all-sessions
-# resume (zero refits) after abort()+restart.
+# zero server panics, latch-through-reconnect, an all-sessions resume
+# (zero refits) after abort()+restart, a histogram-vs-exact-trace p99
+# agreement, and a deterministic SLO fast-burn page from the laggy
+# tenant. The scraper validates /metrics, /snapshot, /trace, /slo, and
+# /healthz against the live soak; the incident validator then checks
+# the fast-burn page left a voltsense-incident-v1 snapshot behind.
 # Results go to a scratch dir: the committed results/bench_fleet.json
 # reference is only compared against (gate below), never overwritten.
+fleet_dir="$(mktemp -d)"
 VOLTSENSE_FLEET_SESSIONS=64 VOLTSENSE_FLEET_FRAMES=10000 \
 TESTKIT_RESULTS_DIR="$(mktemp -d)" \
-    cargo run --release --offline -p voltsense-bench --bin fleet_soak
+VOLTSENSE_TELEMETRY_ADDR=127.0.0.1:0 \
+VOLTSENSE_TELEMETRY_ADDR_FILE="$fleet_dir/addr" \
+VOLTSENSE_TELEMETRY_LINGER=120 \
+VOLTSENSE_TELEMETRY_STOP="$fleet_dir/stop" \
+VOLTSENSE_INCIDENT_DIR="$fleet_dir/incidents" \
+    cargo run --release --offline -p voltsense-bench --bin fleet_soak &
+fleet_pid=$!
+trap 'kill "$fleet_pid" 2>/dev/null || true' EXIT
+cargo run --release --offline -p voltsense-bench --bin scrape_endpoint \
+    "@$fleet_dir/addr" --fleet
+touch "$fleet_dir/stop"   # release the linger
+wait "$fleet_pid"
+trap - EXIT
+cargo run --release --offline -p voltsense-bench --bin validate_incident -- \
+    --expect-kind slo_fast_burn \
+    "$fleet_dir"/incidents/*.json
 
 if [[ "${VOLTSENSE_BENCH_GATE:-}" == 1 ]]; then
     echo "==> bench regression gate (VOLTSENSE_BENCH_GATE=1)"

@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use voltsense::core::{EmergencyMonitor, VoltageMapModel};
+use voltsense::core::{CoreError, EmergencyMonitor, MonitorDecision, VoltageMapModel};
 use voltsense::fleet::chaos::ChaosConfig;
 use voltsense::fleet::checkpoint;
 use voltsense::fleet::client::{FleetClient, RetryPolicy};
@@ -40,11 +40,14 @@ use voltsense::fleet::frame::{Frame, FrameDecoder, DEFAULT_MAX_FRAME};
 use voltsense::fleet::server::{FleetConfig, FleetServer, SessionFactory};
 use voltsense::fleet::session::{ChipMonitor, SessionKey};
 use voltsense::linalg::Matrix;
-use voltsense::telemetry::env;
+use voltsense::telemetry::slo::SloConfig;
+use voltsense::telemetry::trace::{self, TraceConfig};
+use voltsense::telemetry::{self, env};
 use voltsense::workload::GaussianRng;
 use voltsense_bench::{results_dir, rule};
 
 const CONTROL_TENANT: u64 = 1000;
+const LAGGY_TENANT: u64 = 9999;
 const DROOP_CHIP: u64 = 0;
 
 /// Identity monitor (prediction == reading): persistence 2, a 10 V
@@ -61,10 +64,31 @@ fn identity_monitor() -> EmergencyMonitor {
     EmergencyMonitor::new(model, 0.8, 2, 10.0).unwrap()
 }
 
+/// Monitor with a deliberate 2 ms stall per observe. Every decision for
+/// the laggy tenant overshoots the soak's 1 ms latency SLO, so both burn
+/// windows read ~1000x budget and the fast-burn page is deterministic.
+struct LaggyMonitor(EmergencyMonitor);
+
+impl ChipMonitor for LaggyMonitor {
+    fn observe(&mut self, readings: &[f64]) -> Result<MonitorDecision, CoreError> {
+        std::thread::sleep(Duration::from_millis(2));
+        self.0.observe(readings)
+    }
+    fn is_alarmed(&self) -> bool {
+        self.0.is_alarmed()
+    }
+    fn checkpoint_json(&self, _key: SessionKey) -> Option<String> {
+        None
+    }
+}
+
 /// Factory that counts invocations — the restart drill's refit detector.
 fn counting_factory(count: Arc<AtomicU64>) -> SessionFactory {
-    Arc::new(move |_key| {
+    Arc::new(move |key| {
         count.fetch_add(1, Ordering::SeqCst);
+        if key.tenant == LAGGY_TENANT {
+            return Ok(Box::new(LaggyMonitor(identity_monitor())) as Box<dyn ChipMonitor>);
+        }
         Ok(Box::new(identity_monitor()) as Box<dyn ChipMonitor>)
     })
 }
@@ -102,7 +126,14 @@ struct MicroBench {
 /// is the reproducible uncontended cost the ±30% gate can hold.
 fn microbenches(reps: usize) -> Vec<MicroBench> {
     let readings: Vec<f64> = (0..16).map(|i| 0.9 + 0.001 * i as f64).collect();
-    let frame = Frame::Readings { chip: 3, seq: 42, values: readings.clone() };
+    // Traced v2 frame: the production encode path stamps a trace ID at
+    // the edge, so the gated per-op cost must include the 8-byte field.
+    let frame = Frame::Readings {
+        chip: 3,
+        seq: 42,
+        trace: Some(trace::trace_id(7, 3, 42)),
+        values: readings.clone(),
+    };
     let bytes = frame.encode();
 
     // A fleet-shaped model (32 blocks x 8 sensors) warmed mid-stream, so
@@ -198,6 +229,42 @@ struct SoakReport {
     restart_refits: u64,
     restart_restores: u64,
     restart_alarms_held: usize,
+    trace_recorded: u64,
+    trace_deduped: u64,
+    p99_exact_ns: f64,
+    p99_hist_ns: f64,
+    slo_pages: u64,
+    slo_latency_burn_5m: f64,
+    slo_availability_burn_5m: f64,
+    traced_rps: f64,
+    untraced_rps: f64,
+    trace_overhead_pct: f64,
+}
+
+/// Pipelined round-trip throughput against a quiet server: keep a small
+/// window of readings in flight (well under the session queue, so no
+/// shedding) and count decisions until `total` have landed. Ingest
+/// wakeups make this work-bound, not tick-bound, so per-reading serving
+/// cost — including the tracing instrumentation — is what it measures.
+fn probe_rps(addr: std::net::SocketAddr, tenant: u64, total: u64) -> f64 {
+    let mut client =
+        FleetClient::new(addr, tenant, RetryPolicy::default(), ChaosConfig::quiet(tenant));
+    client.hello(0).expect("probe handshake");
+    let t0 = Instant::now();
+    let mut sent = 0u64;
+    let mut decided = 0u64;
+    while decided < total {
+        while sent < total && sent - decided < 16 {
+            client.send_readings(0, sent, &[0.9]).expect("probe send");
+            sent += 1;
+        }
+        for f in client.drain_responses(Duration::from_millis(1)) {
+            if matches!(f, Frame::Decision { .. }) {
+                decided += 1;
+            }
+        }
+    }
+    total as f64 / t0.elapsed().as_secs_f64()
 }
 
 #[allow(clippy::too_many_lines)]
@@ -217,7 +284,14 @@ fn main() {
     println!("  target {frames_req} frames ({rounds} rounds), seed {seed}, reps {reps}");
     rule(72);
 
+    // The microbenches run un-instrumented (no recorder installed), so
+    // their gated per-op costs stay comparable across commits.
     let benches = microbenches(reps);
+
+    // Always-on observability from here on: flight recorder plus (under
+    // VOLTSENSE_TELEMETRY_ADDR) the live endpoint the CI smoke scrapes
+    // for /metrics, /trace, /slo, and /healthz while the soak runs.
+    let obs = telemetry::init_always_on("fleet");
 
     // --- phase 2: the chaos soak --------------------------------------
     let ckpt_dir = std::env::temp_dir().join(format!("fleet_soak_{}", std::process::id()));
@@ -226,11 +300,21 @@ fn main() {
         tick: Duration::from_millis(2),
         checkpoint_dir: Some(ckpt_dir.clone()),
         checkpoint_interval: 32,
+        // Deep slowest-N tail so the p99 cross-check below can index ~1%
+        // from the top of the control tenant's exact trace durations.
+        trace: TraceConfig { slowest_per_tenant: 256, ..TraceConfig::default() },
+        // A 1 ms decision-latency SLO: queue waits under chaos load sit
+        // in the milliseconds, so the latency SLI burns far above the
+        // 14.4 fast-burn line and the page fires deterministically.
+        slo: SloConfig { latency_threshold_ns: 1_000_000, ..SloConfig::default() },
         ..FleetConfig::default()
     };
     let refits = Arc::new(AtomicU64::new(0));
     let mut server =
         FleetServer::start(cfg.clone(), counting_factory(refits.clone())).expect("bind soak server");
+    // Route /trace, /slo, and /healthz to this server's buffers for the
+    // lifetime of the process (the linger below keeps them scrapeable).
+    server.install_observability();
     let addr = server.addr();
 
     let mut failures: Vec<String> = Vec::new();
@@ -370,6 +454,126 @@ fn main() {
         stats.shed, stats.rejected, stats.recoveries, stats.decode_errors
     );
 
+    // --- injected latency: drive a deterministic fast-burn page -------
+    let mut laggy = FleetClient::new(
+        addr,
+        LAGGY_TENANT,
+        RetryPolicy::default(),
+        ChaosConfig::quiet(seed ^ 0x1A6),
+    );
+    laggy.hello(0).expect("laggy handshake");
+    for s in 0..8u64 {
+        laggy.send_readings(0, s, &[0.9]).expect("laggy send");
+        if let Err(e) = laggy.wait_for(Duration::from_secs(10), |f| {
+            matches!(f, Frame::Decision { seq, .. } if *seq == s)
+        }) {
+            failures.push(format!("laggy decision for seq {s} lost: {e:?}"));
+        }
+    }
+
+    // --- tracing / SLO acceptance -------------------------------------
+    // The dispatch thread closes each trace after the response write, so
+    // wait until the control tenant's flight histogram agrees with the
+    // trace buffer's admitted count before comparing percentiles: both
+    // views are then describing exactly the same population.
+    let traces = server.traces();
+    let slo = server.slo();
+    let hist_name = format!("fleet.tenant.{CONTROL_TENANT}.reading_total_ns");
+    let settle_deadline = Instant::now() + Duration::from_secs(2);
+    let mut control_hist = None;
+    loop {
+        let snap = obs.flight().snapshot("fleet");
+        let recorded = traces.stats(CONTROL_TENANT).recorded;
+        match snap.histogram(&hist_name) {
+            Some(h) if h.count == recorded && recorded > 0 => {
+                control_hist = Some(h.clone());
+                break;
+            }
+            _ if Instant::now() >= settle_deadline => break,
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let trace_stats = traces.stats(CONTROL_TENANT);
+    let slowest = traces.slowest(CONTROL_TENANT);
+    match slowest.first() {
+        Some(top) if top.total_ns() > 0 && top.stages.total() == top.total_ns() => {}
+        Some(_) => failures.push("slowest control trace lacks a full stage breakdown".into()),
+        None => failures.push("control tenant has no tail-sampled traces".into()),
+    }
+    if traces.sampled(CONTROL_TENANT).is_empty() {
+        failures.push("control tenant's deterministic 1-in-k sample ring is empty".into());
+    }
+
+    // Satellite bugfix check: the histogram-derived p99 must agree with
+    // the *exact* tail-sampled durations at the same rank. `slowest()` is
+    // slowest-first, so rank r from the top lives at index r-1; allow ±1
+    // rank for the two quantile conventions' off-by-one and ×1.05 for the
+    // half-octave bucket-center resolution (8 sub-buckets per octave).
+    let mut p99_exact_ns = 0.0;
+    let mut p99_hist_ns = 0.0;
+    match control_hist {
+        Some(h) if !slowest.is_empty() => {
+            let count = h.count;
+            let target = ((0.99 * count as f64).ceil() as u64).clamp(1, count);
+            let from_top = ((count - target + 1) as usize).min(slowest.len());
+            let lo = from_top.saturating_sub(1).max(1);
+            let hi = (from_top + 1).min(slowest.len());
+            let agree = (lo..=hi).any(|rank| {
+                let exact = slowest[rank - 1].total_ns() as f64;
+                h.p99 <= exact * 1.05 && h.p99 >= exact / 1.05
+            });
+            p99_exact_ns = slowest[from_top - 1].total_ns() as f64;
+            p99_hist_ns = h.p99;
+            if !agree {
+                failures.push(format!(
+                    "histogram p99 {:.0} ns disagrees with exact tail ranks \
+                     {lo}..={hi} (~{:.0} ns) beyond bucket resolution",
+                    h.p99, p99_exact_ns
+                ));
+            }
+        }
+        _ => failures.push(format!(
+            "control histogram never settled against the trace buffer \
+             (histogram {:?}, recorded {})",
+            control_hist.as_ref().map(|h| h.count),
+            trace_stats.recorded
+        )),
+    }
+
+    // Burn rates: the laggy tenant overshoots the 1 ms latency SLO on
+    // every decision, so its burn must clear the fast-burn line and the
+    // page must have fired.
+    let slo_pages = slo.pages();
+    if slo_pages == 0 {
+        failures.push("no fast-burn page fired despite the laggy tenant's 2 ms stalls".into());
+    }
+    let laggy_burn = slo.burn(LAGGY_TENANT).unwrap_or_default();
+    if !laggy_burn.fast_burn(slo.config().fast_burn) {
+        failures.push(format!(
+            "laggy tenant is not fast-burning: latency 5m {:.1} / 1h {:.1} \
+             (threshold {:.1})",
+            laggy_burn.latency_short,
+            laggy_burn.latency_long,
+            slo.config().fast_burn
+        ));
+    }
+    let control_burn = slo.burn(CONTROL_TENANT).unwrap_or_default();
+    let burning = slo.tenants().iter().any(|&t| {
+        slo.burn(t)
+            .is_some_and(|b| b.latency_short > 0.0 || b.availability_short > 0.0)
+    });
+    if !burning {
+        failures.push("no tenant shows a non-zero burn rate under chaos".into());
+    }
+    println!(
+        "slo: {slo_pages} fast-burn pages, control latency burn 5m {:.1} \
+         (availability {:.1}); trace recorded {} deduped {}",
+        control_burn.latency_short,
+        control_burn.availability_short,
+        trace_stats.recorded,
+        trace_stats.deduped
+    );
+
     // --- phase 3: kill -9 + restart from checkpoints ------------------
     // Give in-flight checkpoints a beat, then abort: no flush, no stop().
     std::thread::sleep(Duration::from_millis(50));
@@ -427,6 +631,45 @@ fn main() {
     server2.stop();
     let _ = std::fs::remove_dir_all(&ckpt_dir);
 
+    // --- tracing overhead probe ---------------------------------------
+    // Alternate traced / untraced rounds against a quiet dedicated
+    // server (fresh tenant each round so dedupe never interferes) and
+    // keep the best throughput of each mode: contention only subtracts,
+    // so the max is the reproducible uncontended rate. `set_enabled` is
+    // the in-process equivalent of VOLTSENSE_TRACE=0 — it gates the
+    // client's trace stamp and the server's span clocks at once.
+    let probe_cfg =
+        FleetConfig { tick: Duration::from_millis(1), ..FleetConfig::default() };
+    let probe_refits = Arc::new(AtomicU64::new(0));
+    let mut probe_server = FleetServer::start(probe_cfg, counting_factory(probe_refits))
+        .expect("bind probe server");
+    const PROBE_READINGS: u64 = 2_000;
+    let mut traced_rps = 0.0f64;
+    let mut untraced_rps = 0.0f64;
+    for round in 0..3u64 {
+        trace::set_enabled(true);
+        traced_rps =
+            traced_rps.max(probe_rps(probe_server.addr(), 2000 + round, PROBE_READINGS));
+        trace::set_enabled(false);
+        untraced_rps =
+            untraced_rps.max(probe_rps(probe_server.addr(), 2100 + round, PROBE_READINGS));
+    }
+    trace::set_enabled(true);
+    probe_server.stop();
+    let trace_overhead_pct = (untraced_rps - traced_rps) / untraced_rps * 100.0;
+    println!(
+        "tracing overhead: traced {traced_rps:.0} rps vs untraced {untraced_rps:.0} rps \
+         ({trace_overhead_pct:+.2}%, target <= 1%)"
+    );
+    // Hard gate at ±30% (shared-runner noise floor); the ≤1% target is
+    // reported in the JSON so regressions show up in review, not flaps.
+    if traced_rps < untraced_rps * 0.70 || untraced_rps < traced_rps * 0.70 {
+        failures.push(format!(
+            "tracing overhead outside ±30%: traced {traced_rps:.0} rps \
+             vs untraced {untraced_rps:.0} rps"
+        ));
+    }
+
     let report = SoakReport {
         seed,
         tenants,
@@ -451,12 +694,27 @@ fn main() {
         restart_refits,
         restart_restores,
         restart_alarms_held: alarms_held,
+        trace_recorded: trace_stats.recorded,
+        trace_deduped: trace_stats.deduped,
+        p99_exact_ns,
+        p99_hist_ns,
+        slo_pages,
+        slo_latency_burn_5m: control_burn.latency_short,
+        slo_availability_burn_5m: control_burn.availability_short,
+        traced_rps,
+        untraced_rps,
+        trace_overhead_pct,
     };
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join("bench_fleet.json");
     std::fs::write(&path, to_json(&benches, &report)).expect("write report");
     println!("wrote {}", path.display());
+
+    // Under VOLTSENSE_TELEMETRY_LINGER the endpoint (and the soak
+    // server's /trace + /slo views) stays scrapeable until the stop file
+    // appears — the CI smoke validates the routes in this window.
+    obs.linger_from_env();
 
     if !failures.is_empty() {
         eprintln!("fleet_soak FAILED {} robustness properties:", failures.len());
@@ -498,8 +756,27 @@ fn to_json(benches: &[MicroBench], r: &SoakReport) -> String {
     ));
     s.push_str(&format!(
         "    \"restart\": {{\"resumed\": {}, \"refits\": {}, \"restores\": {}, \
-         \"alarms_held\": {}}}\n",
+         \"alarms_held\": {}}},\n",
         r.restart_resumed, r.restart_refits, r.restart_restores, r.restart_alarms_held
+    ));
+    // Tracing/SLO numbers stay outside `benchmarks` for the same reason
+    // as the soak stats: rps and burn rates scale with machine load.
+    s.push_str(&format!(
+        "    \"tracing\": {{\"recorded\": {}, \"deduped\": {}, \"p99_exact_ns\": {:.0}, \
+         \"p99_hist_ns\": {:.0}, \"traced_rps\": {:.1}, \"untraced_rps\": {:.1}, \
+         \"overhead_pct\": {:.2}}},\n",
+        r.trace_recorded,
+        r.trace_deduped,
+        r.p99_exact_ns,
+        r.p99_hist_ns,
+        r.traced_rps,
+        r.untraced_rps,
+        r.trace_overhead_pct
+    ));
+    s.push_str(&format!(
+        "    \"slo\": {{\"pages\": {}, \"latency_burn_5m\": {:.3}, \
+         \"availability_burn_5m\": {:.3}}}\n",
+        r.slo_pages, r.slo_latency_burn_5m, r.slo_availability_burn_5m
     ));
     s.push_str("  },\n");
     s.push_str("  \"benchmarks\": [\n");

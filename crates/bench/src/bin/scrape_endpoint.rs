@@ -1,6 +1,6 @@
 //! CI live-endpoint scraper: a real HTTP client for the telemetry server.
 //!
-//! Usage: `scrape_endpoint <addr | @addr-file>`
+//! Usage: `scrape_endpoint <addr | @addr-file> [--fleet]`
 //!
 //! Performs `GET /metrics` and `GET /snapshot` against a running
 //! `telemetry::serve` endpoint (`<addr>` is `host:port`; `@file` reads the
@@ -14,6 +14,16 @@
 //!   one histogram quantile sample;
 //! * `/snapshot` answers 200 with a parseable `voltsense-metrics-v1`
 //!   JSON document (validated with the in-tree parser).
+//!
+//! With `--fleet` (scraping a fleet soak) it additionally requires:
+//!
+//! * `/trace` serves a `voltsense-trace-v1` document where at least one
+//!   tenant holds a tail-sampled trace with a 16-hex trace ID, a positive
+//!   total, and all five stage spans, and some tenant's deterministic
+//!   1-in-k sample ring is non-empty;
+//! * `/slo` serves a `voltsense-slo-v1` document with a non-zero burn
+//!   rate and at least one fast-burn page across tenants;
+//! * `/healthz` answers 200 with the structured fleet health body.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -125,9 +135,105 @@ fn scrape_metrics(addr: &str) -> Result<(usize, usize, usize, usize), Scrape> {
     Ok((counters, gauges, quantiles, samples))
 }
 
+/// Stage names, in wire order, that every complete trace record carries.
+const STAGES: [&str; 5] = ["decode", "shard", "predict", "decide", "respond"];
+
+/// One `/trace` scrape: schema + record completeness. Returns the number
+/// of complete slowest-N records. `Unavailable` while the buffer is still
+/// empty (the soak may not have served a reading yet), `Malformed` if a
+/// present record violates the document contract.
+fn scrape_trace(addr: &str) -> Result<usize, Scrape> {
+    let (status, body) = get(addr, "/trace").map_err(Scrape::Unavailable)?;
+    if status != 200 {
+        return Err(Scrape::Unavailable(format!("/trace answered {status}")));
+    }
+    let doc = json::parse(&body).map_err(|e| Scrape::Malformed(format!("/trace: {e}")))?;
+    if doc.get("schema").and_then(Value::as_str) != Some("voltsense-trace-v1") {
+        return Err(Scrape::Malformed("/trace: missing voltsense-trace-v1 schema".into()));
+    }
+    let mut complete = 0usize;
+    let mut sampled_seen = false;
+    for t in doc.get("tenants").and_then(Value::as_array).unwrap_or(&[]) {
+        for rec in t.get("slowest").and_then(Value::as_array).unwrap_or(&[]) {
+            let total = rec.get("total_ns").and_then(Value::as_f64).unwrap_or(0.0);
+            let id_ok = rec
+                .get("trace_id")
+                .and_then(Value::as_str)
+                .map_or(false, |s| s.len() == 16 && s.chars().all(|c| c.is_ascii_hexdigit()));
+            let stages = rec.get("stages");
+            let stages_ok = STAGES.iter().all(|s| {
+                stages
+                    .and_then(|v| v.get(s))
+                    .and_then(|v| v.get("ns"))
+                    .and_then(Value::as_f64)
+                    .is_some()
+            });
+            if !(total > 0.0 && id_ok && stages_ok) {
+                return Err(Scrape::Malformed(format!(
+                    "/trace: incomplete record (total {total}, id_ok {id_ok}, stages_ok {stages_ok})"
+                )));
+            }
+            complete += 1;
+        }
+        if !t.get("sampled").and_then(Value::as_array).unwrap_or(&[]).is_empty() {
+            sampled_seen = true;
+        }
+    }
+    if complete == 0 || !sampled_seen {
+        return Err(Scrape::Unavailable(format!(
+            "/trace has {complete} complete tail records, sample ring {}",
+            if sampled_seen { "populated" } else { "empty" }
+        )));
+    }
+    Ok(complete)
+}
+
+/// One `/slo` scrape: schema + evidence the burn engine is live. Returns
+/// (total pages, max burn across tenants/windows). `Unavailable` until
+/// some tenant burns budget and a fast-burn page has fired.
+fn scrape_slo(addr: &str) -> Result<(u64, f64), Scrape> {
+    let (status, body) = get(addr, "/slo").map_err(Scrape::Unavailable)?;
+    if status != 200 {
+        return Err(Scrape::Unavailable(format!("/slo answered {status}")));
+    }
+    let doc = json::parse(&body).map_err(|e| Scrape::Malformed(format!("/slo: {e}")))?;
+    if doc.get("schema").and_then(Value::as_str) != Some("voltsense-slo-v1") {
+        return Err(Scrape::Malformed("/slo: missing voltsense-slo-v1 schema".into()));
+    }
+    let mut pages = 0.0f64;
+    let mut max_burn = 0.0f64;
+    for t in doc.get("tenants").and_then(Value::as_array).unwrap_or(&[]) {
+        pages += t.get("pages").and_then(Value::as_f64).unwrap_or(0.0);
+        for sli in ["latency", "availability"] {
+            for window in ["burn_5m", "burn_1h"] {
+                let burn = t
+                    .get(sli)
+                    .and_then(|v| v.get(window))
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0);
+                max_burn = max_burn.max(burn);
+            }
+        }
+    }
+    if pages < 1.0 || max_burn <= 0.0 {
+        return Err(Scrape::Unavailable(format!(
+            "/slo shows {pages:.0} pages, max burn {max_burn}"
+        )));
+    }
+    Ok((pages as u64, max_burn))
+}
+
+fn scrape_msg(e: &Scrape) -> &str {
+    match e {
+        Scrape::Unavailable(m) | Scrape::Malformed(m) => m,
+    }
+}
+
 fn main() -> ExitCode {
-    let Some(arg) = std::env::args().nth(1) else {
-        return fail("usage: scrape_endpoint <addr | @addr-file>");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fleet = args.iter().any(|a| a == "--fleet");
+    let Some(arg) = args.iter().find(|a| !a.starts_with("--")).cloned() else {
+        return fail("usage: scrape_endpoint <addr | @addr-file> [--fleet]");
     };
     let addr = if let Some(path) = arg.strip_prefix('@') {
         // The server process writes its bound address once it is up.
@@ -193,6 +299,53 @@ fn main() -> ExitCode {
         .get("events")
         .and_then(Value::as_array)
         .map_or(0, <[Value]>::len);
+
+    // --- fleet mode: /trace, /slo, /healthz --------------------------
+    // Retried like /metrics: the routes answer valid empty documents
+    // from the first request, and fill in as the soak serves readings
+    // (traces), burns budget, and pages (SLO).
+    if fleet {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let (tail_records, pages, max_burn) = loop {
+            match (scrape_trace(&addr), scrape_slo(&addr)) {
+                (Ok(n), Ok((pages, burn))) => break (n, pages, burn),
+                (Err(e @ Scrape::Malformed(_)), _) | (_, Err(e @ Scrape::Malformed(_))) => {
+                    return fail(scrape_msg(&e));
+                }
+                (tr, sr) => {
+                    if Instant::now() >= deadline {
+                        let why: Vec<&str> =
+                            [tr.as_ref().err(), sr.as_ref().err()].iter().flatten().map(|e| scrape_msg(e)).collect();
+                        return fail(&format!(
+                            "fleet routes never became complete: {}",
+                            why.join("; ")
+                        ));
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(200));
+        };
+        let (status, body) = match get(&addr, "/healthz") {
+            Ok(r) => r,
+            Err(e) => return fail(&e),
+        };
+        if status != 200 {
+            return fail(&format!("/healthz answered {status} during a healthy soak"));
+        }
+        let health_status = json::parse(&body)
+            .ok()
+            .and_then(|doc| doc.get("status").and_then(Value::as_str).map(str::to_string));
+        if health_status.as_deref() != Some("ok") {
+            return fail(&format!(
+                "/healthz did not serve the structured fleet body, got: {}",
+                body.trim()
+            ));
+        }
+        println!(
+            "fleet routes passed: {tail_records} tail-sampled traces, \
+             {pages} fast-burn pages, max burn {max_burn:.1}, healthz ok"
+        );
+    }
 
     println!(
         "endpoint scrape passed: {samples} exposition samples \

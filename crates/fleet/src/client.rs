@@ -15,6 +15,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
+use voltsense_telemetry::trace;
 use voltsense_workload::GaussianRng;
 
 use crate::chaos::{ChaosConfig, ChaosStats, FaultyTransport, Injected};
@@ -283,7 +284,12 @@ impl FleetClient {
         values: &[f64],
     ) -> Result<(), ClientError> {
         self.stats.sends += 1;
-        let frame = Frame::Readings { chip, seq, values: values.to_vec() }.encode();
+        // Stamp the deterministic trace ID at the edge, so the span the
+        // server records is attributable to this exact (tenant, chip,
+        // seq) — and so a chaos-duplicated frame carries the *same* ID
+        // and dedupes server-side instead of double-counting.
+        let trace = trace::enabled().then(|| trace::trace_id(self.tenant, chip, seq));
+        let frame = Frame::Readings { chip, seq, trace, values: values.to_vec() }.encode();
         let sent = self.transmit(frame)?;
         if !sent {
             self.recover()?;

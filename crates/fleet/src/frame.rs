@@ -134,6 +134,12 @@ pub enum Frame {
         chip: u64,
         /// Client-assigned sequence number, echoed in the decision.
         seq: u64,
+        /// Optional 64-bit trace ID stamped by the client
+        /// ([`voltsense_telemetry::trace::trace_id`]). `None` encodes as
+        /// the original v1 readings frame, so old peers interoperate
+        /// unchanged; `Some` encodes as the version-bumped
+        /// `KIND_READINGS_V2` body with the ID after `seq`.
+        trace: Option<u64>,
         /// Sensor voltages, in the model's sensor order.
         values: Vec<f64>,
     },
@@ -184,6 +190,10 @@ const KIND_DECISION: u8 = 3;
 const KIND_BUSY: u8 = 4;
 const KIND_ERROR: u8 = 5;
 const KIND_HELLO_ACK: u8 = 6;
+/// Version-bumped readings body: v1 layout plus a trailing-after-`seq`
+/// 64-bit trace ID. A separate kind (not a flag bit) keeps v1 decoding
+/// byte-for-byte untouched for old peers.
+const KIND_READINGS_V2: u8 = 7;
 
 impl Frame {
     /// Serialize into a complete wire frame (header + body).
@@ -201,10 +211,13 @@ impl Frame {
                 body.push(u8::from(*resumed));
                 body.push(u8::from(*alarmed));
             }
-            Self::Readings { chip, seq, values } => {
-                body.push(KIND_READINGS);
+            Self::Readings { chip, seq, trace, values } => {
+                body.push(if trace.is_some() { KIND_READINGS_V2 } else { KIND_READINGS });
                 body.extend_from_slice(&chip.to_le_bytes());
                 body.extend_from_slice(&seq.to_le_bytes());
+                if let Some(id) = trace {
+                    body.extend_from_slice(&id.to_le_bytes());
+                }
                 body.extend_from_slice(&(values.len() as u32).to_le_bytes());
                 for v in values {
                     body.extend_from_slice(&v.to_le_bytes());
@@ -250,9 +263,10 @@ impl Frame {
                 resumed: r.u8()? != 0,
                 alarmed: r.u8()? != 0,
             },
-            KIND_READINGS => {
+            KIND_READINGS | KIND_READINGS_V2 => {
                 let chip = r.u64()?;
                 let seq = r.u64()?;
+                let trace = if kind == KIND_READINGS_V2 { Some(r.u64()?) } else { None };
                 let count = r.u32()? as usize;
                 if count > MAX_READINGS {
                     return Err(FrameError::TooManyReadings(count));
@@ -263,7 +277,7 @@ impl Frame {
                 for _ in 0..count {
                     values.push(r.f64()?);
                 }
-                Self::Readings { chip, seq, values }
+                Self::Readings { chip, seq, trace, values }
             }
             KIND_DECISION => Self::Decision {
                 chip: r.u64()?,
@@ -430,7 +444,18 @@ mod tests {
     fn every_kind_roundtrips() {
         roundtrip(Frame::Hello { tenant: 7, chip: 42 });
         roundtrip(Frame::HelloAck { chip: 42, resumed: true, alarmed: false });
-        roundtrip(Frame::Readings { chip: 1, seq: 99, values: vec![0.95, 0.83, f64::NAN.min(0.9)] });
+        roundtrip(Frame::Readings {
+            chip: 1,
+            seq: 99,
+            trace: None,
+            values: vec![0.95, 0.83, f64::NAN.min(0.9)],
+        });
+        roundtrip(Frame::Readings {
+            chip: 1,
+            seq: 100,
+            trace: Some(0xdead_beef_cafe_f00d),
+            values: vec![0.95, 0.83],
+        });
         roundtrip(Frame::Decision {
             chip: 1,
             seq: 99,
@@ -447,7 +472,7 @@ mod tests {
 
     #[test]
     fn nan_readings_survive_the_wire_bit_exactly() {
-        let wire = Frame::Readings { chip: 0, seq: 0, values: vec![f64::NAN] }.encode();
+        let wire = Frame::Readings { chip: 0, seq: 0, trace: None, values: vec![f64::NAN] }.encode();
         let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
         dec.push(&wire);
         match dec.next().unwrap() {
@@ -462,7 +487,8 @@ mod tests {
     fn byte_at_a_time_chunking_decodes_identically() {
         let frames = [
             Frame::Hello { tenant: 1, chip: 2 },
-            Frame::Readings { chip: 2, seq: 0, values: vec![0.9; 17] },
+            Frame::Readings { chip: 2, seq: 0, trace: None, values: vec![0.9; 17] },
+            Frame::Readings { chip: 2, seq: 1, trace: Some(41), values: vec![0.9; 3] },
             Frame::Busy { chip: 2, retry_after_ms: 10 },
         ];
         let wire: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
@@ -521,5 +547,44 @@ mod tests {
         let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
         dec.push(&wire);
         assert!(matches!(dec.next(), Err(FrameError::TooManyReadings(_))));
+    }
+
+    #[test]
+    fn untraced_readings_stay_wire_compatible_with_v1() {
+        // An untraced frame must be byte-identical to the historical v1
+        // encoding: hand-build the v1 body and compare.
+        let frame = Frame::Readings { chip: 6, seq: 12, trace: None, values: vec![0.5, 0.25] };
+        let mut body = vec![KIND_READINGS];
+        body.extend_from_slice(&6u64.to_le_bytes());
+        body.extend_from_slice(&12u64.to_le_bytes());
+        body.extend_from_slice(&2u32.to_le_bytes());
+        body.extend_from_slice(&0.5f64.to_le_bytes());
+        body.extend_from_slice(&0.25f64.to_le_bytes());
+        let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&fnv1a32(&body).to_le_bytes());
+        wire.extend_from_slice(&body);
+        assert_eq!(frame.encode(), wire);
+        // …and a v1 body decodes to `trace: None` (old peers still work).
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.push(&wire);
+        assert_eq!(dec.next().unwrap(), Some(frame));
+    }
+
+    #[test]
+    fn traced_readings_use_the_v2_kind() {
+        let wire = Frame::Readings { chip: 1, seq: 2, trace: Some(3), values: vec![] }.encode();
+        assert_eq!(wire[HEADER_LEN], KIND_READINGS_V2);
+        // A truncated v2 body (trace ID cut off) is a framing error, not a
+        // misparse as v1.
+        let mut body = vec![KIND_READINGS_V2];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&2u64.to_le_bytes());
+        body.extend_from_slice(&[0u8; 4]); // half a trace ID
+        let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&fnv1a32(&body).to_le_bytes());
+        wire.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.push(&wire);
+        assert!(matches!(dec.next(), Err(FrameError::Truncated)));
     }
 }

@@ -42,4 +42,7 @@ pub use chaos::{ChaosConfig, ChaosStats, FaultyTransport};
 pub use client::{ClientError, ClientStats, FleetClient, HelloStatus, RetryPolicy};
 pub use frame::{Frame, FrameDecoder, FrameError};
 pub use server::{FleetConfig, FleetServer, FleetStats, SessionFactory};
-pub use session::{ChipMonitor, LadderConfig, Session, SessionKey, SessionState};
+pub use session::{
+    ChipMonitor, Drained, LadderConfig, PendingTrace, Session, SessionKey, SessionState,
+    TraceDraft,
+};

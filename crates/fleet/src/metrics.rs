@@ -35,6 +35,22 @@ pub const RESPONSES_DROPPED_TOTAL: &str = "fleet.responses_dropped_total";
 pub const CHECKPOINT_FAILURES_TOTAL: &str = "fleet.checkpoint_failures_total";
 /// Live sessions gauge.
 pub const SESSIONS_GAUGE: &str = "fleet.sessions";
+/// Readings suppressed as chaos duplicates by the trace dedupe window.
+pub const TRACE_DEDUPED_TOTAL: &str = "fleet.trace.deduped_total";
+/// Per-stage duration histograms for traced readings, in
+/// [`voltsense_telemetry::trace::STAGES`] order.
+pub const STAGE_NS: [&str; 5] = [
+    "fleet.stage.decode_ns",
+    "fleet.stage.shard_ns",
+    "fleet.stage.predict_ns",
+    "fleet.stage.decide_ns",
+    "fleet.stage.respond_ns",
+];
+/// End-to-end traced reading duration histogram (sum of all stages).
+pub const READING_TOTAL_NS: &str = "fleet.reading_total_ns";
+/// Per-tenant twin of [`READING_TOTAL_NS`], interned via
+/// [`tenant_metric`] as `fleet.tenant.<id>.reading_total_ns`.
+pub const TENANT_READING_TOTAL_NS: &str = "reading_total_ns";
 
 static TENANT_NAMES: Mutex<BTreeMap<(u64, &'static str), &'static str>> =
     Mutex::new(BTreeMap::new());

@@ -37,11 +37,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use voltsense_parallel as parallel;
+use voltsense_telemetry::slo::{SloConfig, SloTracker};
+use voltsense_telemetry::trace::{self, StageNs, TraceBuffer, TraceConfig, TraceContext, TraceRecord};
 use voltsense_telemetry::{self as telemetry, incident::Incident};
 
 use crate::frame::{error_code, Frame, FrameDecoder};
 use crate::metrics;
-use crate::session::{ChipMonitor, LadderConfig, Offer, Session, SessionKey, SessionState};
+use crate::session::{
+    ChipMonitor, LadderConfig, Offer, PendingTrace, Session, SessionKey, SessionState, TraceDraft,
+};
 
 /// Builds the monitor for a session seen for the first time (no memory,
 /// no checkpoint). Errors become an `Error` frame for the client.
@@ -77,6 +81,11 @@ pub struct FleetConfig {
     /// Dispatcher tick (drain latency floor when idle; wakeups are
     /// signalled immediately on ingest).
     pub tick: Duration,
+    /// Tail-sampling policy for the per-reading trace buffer.
+    pub trace: TraceConfig,
+    /// Per-tenant SLO definition (latency threshold, objectives, burn
+    /// thresholds).
+    pub slo: SloConfig,
 }
 
 impl Default for FleetConfig {
@@ -94,6 +103,8 @@ impl Default for FleetConfig {
             shards: parallel::configured_threads(),
             drain_budget: 32,
             tick: Duration::from_millis(5),
+            trace: TraceConfig::default(),
+            slo: SloConfig::default(),
         }
     }
 }
@@ -191,6 +202,18 @@ struct Shared {
     wake: Mutex<bool>,
     wake_cond: Condvar,
     conns: Mutex<Vec<std::sync::Weak<ConnTx>>>,
+    /// Tail-sampling trace buffer for every traced reading this server
+    /// answers; also the dedupe authority for chaos-duplicate deliveries.
+    traces: Arc<TraceBuffer>,
+    /// Per-tenant SLO burn-rate tracker.
+    slo: Arc<SloTracker>,
+    /// The scoped recorder active on the thread that called
+    /// [`FleetServer::start`], re-installed on every server thread so
+    /// test-scoped telemetry capture sees server internals (the same
+    /// propagation contract the parallel pool honours).
+    scope: Option<Arc<dyn telemetry::Recorder>>,
+    /// When the most recent checkpoint was written (any session).
+    last_checkpoint: Mutex<Option<Instant>>,
 }
 
 impl Shared {
@@ -214,6 +237,47 @@ impl Shared {
             .map(|s| s.sessions.lock().unwrap_or_else(|e| e.into_inner()).len() as u64)
             .sum()
     }
+
+    /// Live sessions per degradation tier: `(total, degraded, quarantined)`,
+    /// where degraded means the ladder is in Shedding or Rejecting.
+    fn ladder_census(&self) -> (u64, u64, u64) {
+        let (mut total, mut degraded, mut quarantined) = (0u64, 0u64, 0u64);
+        for shard in &self.shards {
+            let entries: Vec<_> = {
+                let sessions = shard.sessions.lock().unwrap_or_else(|e| e.into_inner());
+                sessions.values().cloned().collect()
+            };
+            for entry in entries {
+                let guard = entry.lock().unwrap_or_else(|e| e.into_inner());
+                total += 1;
+                match guard.session.state() {
+                    SessionState::Shedding | SessionState::Rejecting => degraded += 1,
+                    SessionState::Quarantined => quarantined += 1,
+                    _ => {}
+                }
+            }
+        }
+        (total, degraded, quarantined)
+    }
+
+    /// The `/healthz` answer: 503 as soon as any session is quarantined —
+    /// a panicked monitor means some chip is no longer being watched,
+    /// which is exactly what an external prober must see.
+    fn health(&self) -> telemetry::serve::Health {
+        let (sessions, degraded, quarantined) = self.ladder_census();
+        let healthy = quarantined == 0;
+        let status = if healthy { "ok" } else { "quarantined" };
+        let age = match *self.last_checkpoint.lock().unwrap_or_else(|e| e.into_inner()) {
+            Some(at) => (at.elapsed().as_millis() as u64).to_string(),
+            None => "null".into(),
+        };
+        let body = format!(
+            "{{\n  \"status\": \"{status}\",\n  \"sessions\": {sessions},\n  \
+             \"degraded\": {degraded},\n  \"quarantined\": {quarantined},\n  \
+             \"last_checkpoint_age_ms\": {age}\n}}\n"
+        );
+        telemetry::serve::Health { healthy, body }
+    }
 }
 
 /// A running fleet monitor server.
@@ -235,6 +299,8 @@ impl FleetServer {
         let shards = (0..cfg.shards.max(1))
             .map(|_| Shard { sessions: Mutex::new(HashMap::new()), dirty: AtomicBool::new(false) })
             .collect();
+        let traces = Arc::new(TraceBuffer::new(cfg.trace));
+        let slo = Arc::new(SloTracker::new(cfg.slo));
         let shared = Arc::new(Shared {
             cfg,
             factory,
@@ -244,6 +310,10 @@ impl FleetServer {
             wake: Mutex::new(false),
             wake_cond: Condvar::new(),
             conns: Mutex::new(Vec::new()),
+            traces,
+            slo,
+            scope: telemetry::scoped_recorder(),
+            last_checkpoint: Mutex::new(None),
         });
         let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -260,7 +330,12 @@ impl FleetServer {
                     let conn_shared = accept_shared.clone();
                     if let Ok(handle) = std::thread::Builder::new()
                         .name("fleet-conn".into())
-                        .spawn(move || reader_loop(conn_shared, stream))
+                        .spawn(move || match conn_shared.scope.clone() {
+                            Some(scope) => telemetry::with_scoped(scope, || {
+                                reader_loop(conn_shared, stream)
+                            }),
+                            None => reader_loop(conn_shared, stream),
+                        })
                     {
                         let mut guard =
                             accept_readers.lock().unwrap_or_else(|e| e.into_inner());
@@ -274,7 +349,12 @@ impl FleetServer {
         let dispatch_shared = shared.clone();
         let dispatch_thread = std::thread::Builder::new()
             .name("fleet-dispatch".into())
-            .spawn(move || dispatch_loop(&dispatch_shared))?;
+            .spawn(move || match dispatch_shared.scope.clone() {
+                Some(scope) => {
+                    telemetry::with_scoped(scope, || dispatch_loop(&dispatch_shared))
+                }
+                None => dispatch_loop(&dispatch_shared),
+            })?;
 
         Ok(Self {
             shared,
@@ -319,6 +399,36 @@ impl FleetServer {
         }?;
         let guard = entry.lock().unwrap_or_else(|e| e.into_inner());
         Some(guard.session.is_alarmed())
+    }
+
+    /// The tail-sampling trace buffer behind this server's `GET /trace`.
+    pub fn traces(&self) -> Arc<TraceBuffer> {
+        self.shared.traces.clone()
+    }
+
+    /// The per-tenant SLO tracker behind this server's `GET /slo`.
+    pub fn slo(&self) -> Arc<SloTracker> {
+        self.shared.slo.clone()
+    }
+
+    /// Wire this server into the process-global observability endpoint:
+    /// `GET /trace` and `GET /slo` serve this server's buffers, and
+    /// `GET /healthz` turns 503 (with a JSON body naming quarantined and
+    /// degraded session counts and the last-checkpoint age) as soon as a
+    /// monitor is quarantined. One server per process owns the endpoint;
+    /// the last caller wins, and a stopped server answers unhealthy
+    /// rather than dangling.
+    pub fn install_observability(&self) {
+        trace::install(self.shared.traces.clone());
+        telemetry::slo::install(self.shared.slo.clone());
+        let weak = Arc::downgrade(&self.shared);
+        telemetry::serve::install_health(Arc::new(move || match weak.upgrade() {
+            Some(shared) => shared.health(),
+            None => telemetry::serve::Health {
+                healthy: false,
+                body: "{\"status\": \"stopped\"}\n".into(),
+            },
+        }));
     }
 
     /// Graceful shutdown: stop ingest, drain nothing further, checkpoint
@@ -398,6 +508,8 @@ fn write_checkpoint(shared: &Shared, dir: &std::path::Path, session: &mut Sessio
         Ok(()) => {
             shared.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
             metrics::count(key.tenant, metrics::CHECKPOINTS_TOTAL, "checkpoints", 1);
+            *shared.last_checkpoint.lock().unwrap_or_else(|e| e.into_inner()) =
+                Some(Instant::now());
         }
         Err(e) => {
             shared.counters.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
@@ -429,6 +541,7 @@ fn dispatch_loop(shared: &Arc<Shared>) {
         let sweep = last_sweep.elapsed() >= sweep_every;
         if sweep {
             last_sweep = Instant::now();
+            shared.slo.publish_gauges();
         }
         let targets: Vec<usize> = shared
             .shards
@@ -464,7 +577,7 @@ fn drain_shard(shared: &Shared, shard: &Shard, sweep: bool) {
             let interval = shared.cfg.checkpoint_interval;
             let recoveries_before = session.counters().recoveries;
             match catch_unwind(AssertUnwindSafe(|| session.drain(budget, interval))) {
-                Ok(frames) => {
+                Ok(drained) => {
                     // The drain side owns de-escalation; mirror any
                     // Rejecting → Accepting recovery into server counters.
                     let recovered = session.counters().recoveries - recoveries_before;
@@ -473,13 +586,26 @@ fn drain_shard(shared: &Shared, shard: &Shard, sweep: bool) {
                         metrics::count(key.tenant, metrics::RECOVERIES_TOTAL, "recoveries", recovered);
                     }
                     if let Some(conn) = conn.as_ref() {
-                        for frame in &frames {
-                            conn.send(&shared.counters, frame);
+                        for d in &drained {
+                            let sent_at = d.trace.map(|_| Instant::now());
+                            conn.send(&shared.counters, &d.frame);
+                            if let (Some(draft), Some(at)) = (d.trace, sent_at) {
+                                let respond = at.elapsed().as_nanos() as u64;
+                                finish_trace(shared, key.tenant, draft, respond);
+                            }
                         }
                     } else {
-                        let n = frames.len() as u64;
+                        let n = drained.len() as u64;
                         shared.counters.responses_dropped.fetch_add(n, Ordering::Relaxed);
                         telemetry::counter(metrics::RESPONSES_DROPPED_TOTAL, n);
+                        // The decision was still made; close its trace
+                        // with a zero respond stage so SLO latency and
+                        // availability keep counting dead-client traffic.
+                        for d in &drained {
+                            if let Some(draft) = d.trace {
+                                finish_trace(shared, key.tenant, draft, 0);
+                            }
+                        }
                     }
                     // Recoveries are observed here (offer side can't see
                     // the drain); mirror the session counter lazily.
@@ -562,6 +688,48 @@ fn drain_shard(shared: &Shared, shard: &Shard, sweep: bool) {
     }
 }
 
+/// Seal a per-reading trace: attach the respond stage, offer it to the
+/// tail-sampling buffer, and — only if it was not a chaos duplicate —
+/// feed the SLO engine and the stage histograms. The buffer's dedupe
+/// window is the single authority on "seen before", so replayed frames
+/// can never double-count an error budget.
+fn finish_trace(shared: &Shared, tenant: u64, draft: TraceDraft, respond_ns: u64) {
+    let rec = TraceRecord {
+        ctx: draft.ctx,
+        stages: StageNs {
+            decode: draft.decode_ns,
+            shard: draft.shard_ns,
+            predict: draft.predict_ns,
+            decide: draft.decide_ns,
+            respond: respond_ns,
+        },
+    };
+    let total = rec.total_ns();
+    if shared.traces.record(rec) {
+        shared.slo.record_decision(tenant, total);
+        // Per-stage histograms ride the deterministic 1-in-k sample (the
+        // same seqs the sampled ring keeps): five extra recorder hits on
+        // every reading is most of the always-on tracing overhead, and
+        // the stage-level distribution doesn't need per-reading counts —
+        // unlike the totals below, which the p99 cross-check and the SLO
+        // engine consume exhaustively.
+        let k = shared.traces.config().sample_every;
+        if k > 0 && rec.ctx.seq % k == 0 {
+            for (name, ns) in metrics::STAGE_NS.iter().zip(rec.stages.as_array()) {
+                telemetry::histogram(name, ns as f64, "ns");
+            }
+        }
+        telemetry::histogram(metrics::READING_TOTAL_NS, total as f64, "ns");
+        telemetry::histogram(
+            metrics::tenant_metric(tenant, metrics::TENANT_READING_TOTAL_NS),
+            total as f64,
+            "ns",
+        );
+    } else {
+        telemetry::counter(metrics::TRACE_DEDUPED_TOTAL, 1);
+    }
+}
+
 fn reader_loop(shared: Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
@@ -588,11 +756,15 @@ fn reader_loop(shared: Arc<Shared>, stream: TcpStream) {
                 last_byte = Instant::now();
                 decoder.push(&buf[..n]);
                 loop {
+                    let decode_started = trace::enabled().then(Instant::now);
                     match decoder.next() {
                         Ok(Some(frame)) => {
+                            let decode_ns = decode_started
+                                .map(|t| t.elapsed().as_nanos() as u64)
+                                .unwrap_or(0);
                             shared.counters.frames.fetch_add(1, Ordering::Relaxed);
                             telemetry::counter(metrics::FRAMES_TOTAL, 1);
-                            if !handle_frame(&shared, &conn, &mut tenant, frame) {
+                            if !handle_frame(&shared, &conn, &mut tenant, frame, decode_ns) {
                                 conn.shutdown();
                                 return;
                             }
@@ -640,6 +812,7 @@ fn handle_frame(
     conn: &Arc<ConnTx>,
     conn_tenant: &mut Option<u64>,
     frame: Frame,
+    decode_ns: u64,
 ) -> bool {
     match frame {
         Frame::Hello { tenant, chip } => {
@@ -663,7 +836,7 @@ fn handle_frame(
             let key = SessionKey { tenant, chip };
             open_session(shared, conn, key)
         }
-        Frame::Readings { chip, seq, values } => {
+        Frame::Readings { chip, seq, trace, values } => {
             let Some(tenant) = *conn_tenant else {
                 conn.send(
                     &shared.counters,
@@ -693,10 +866,23 @@ fn handle_frame(
                 );
                 return true;
             };
+            // Resume the client's trace when the frame carries an ID;
+            // derive the canonical one otherwise so untraced (v1)
+            // clients still show up in the tail sampler. Either way the
+            // ID is a pure function of (tenant, chip, seq), so chaos
+            // replays reproduce it bit-for-bit.
+            let pending = trace::enabled().then(|| {
+                let trace_id = trace.unwrap_or_else(|| trace::trace_id(tenant, chip, seq));
+                PendingTrace {
+                    ctx: TraceContext { trace_id, tenant, chip, seq },
+                    decode_ns,
+                    enqueued: Instant::now(),
+                }
+            });
             let offer = {
                 let mut guard = entry.lock().unwrap_or_else(|e| e.into_inner());
                 guard.conn = Some(conn.clone());
-                guard.session.offer(seq, values)
+                guard.session.offer(seq, values, pending)
             };
             match offer {
                 Offer::Queued => {
@@ -712,6 +898,16 @@ fn handle_frame(
                 Offer::Rejected(busy) => {
                     shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
                     metrics::count(tenant, metrics::REJECTED_TOTAL, "rejected", 1);
+                    // A Busy response is an availability SLI miss — but
+                    // only once per trace ID: a duplicated frame that is
+                    // rejected twice still burnt exactly one budget unit.
+                    if let Some(p) = pending {
+                        if shared.traces.admit(tenant, p.ctx.trace_id) {
+                            shared.slo.record_busy(tenant);
+                        }
+                    } else {
+                        shared.slo.record_busy(tenant);
+                    }
                     conn.send(&shared.counters, &busy);
                     // Still drain: recovery needs the queue to move.
                     shard.dirty.store(true, Ordering::Release);

@@ -27,6 +27,7 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use voltsense_core::{CoreError, EmergencyMonitor, MonitorDecision};
+use voltsense_telemetry::trace::TraceContext;
 
 use crate::frame::{decision_flags, Frame};
 
@@ -112,6 +113,47 @@ pub struct SessionCounters {
     pub decisions: u64,
 }
 
+/// Trace state a reading carries from the moment it was decoded until the
+/// shard drain picks it up: identity, the already-measured decode time,
+/// and the enqueue instant (whose distance to the drain pass is the
+/// `shard` stage — the queue wait).
+#[derive(Debug, Clone, Copy)]
+pub struct PendingTrace {
+    /// Reading identity plus trace ID.
+    pub ctx: TraceContext,
+    /// Nanoseconds the server spent decoding the wire frame.
+    pub decode_ns: u64,
+    /// When the reading entered the session queue.
+    pub enqueued: Instant,
+}
+
+/// Stage timings of one drained reading, short of the final `respond`
+/// stage (only the caller writing the response frame can measure that;
+/// it completes the record into the trace buffer).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceDraft {
+    /// Reading identity plus trace ID.
+    pub ctx: TraceContext,
+    /// Wire bytes → decoded frame.
+    pub decode_ns: u64,
+    /// Queue wait between enqueue and the drain pass.
+    pub shard_ns: u64,
+    /// Monitor observe (prediction) time.
+    pub predict_ns: u64,
+    /// Decision assembly time after the prediction.
+    pub decide_ns: u64,
+}
+
+/// One response frame produced by [`Session::drain`], with the stage
+/// timings of the reading that produced it when tracing is on.
+#[derive(Debug)]
+pub struct Drained {
+    /// The frame to relay to the client.
+    pub frame: Frame,
+    /// Stage timings (decisions only; error frames carry `None`).
+    pub trace: Option<TraceDraft>,
+}
+
 /// How the session answered one offered readings batch.
 #[derive(Debug, PartialEq)]
 pub enum Offer {
@@ -125,11 +167,18 @@ pub enum Offer {
     Quarantined(Frame),
 }
 
+/// One queued readings batch awaiting the shard drain.
+struct QueuedBatch {
+    seq: u64,
+    values: Vec<f64>,
+    trace: Option<PendingTrace>,
+}
+
 /// One `(tenant, chip)` monitor session.
 pub struct Session {
     key: SessionKey,
     monitor: Box<dyn ChipMonitor>,
-    queue: VecDeque<(u64, Vec<f64>)>,
+    queue: VecDeque<QueuedBatch>,
     ladder: LadderConfig,
     state: SessionState,
     shed_streak: usize,
@@ -204,8 +253,9 @@ impl Session {
         self.queue.len()
     }
 
-    /// Offer one readings batch to the ladder.
-    pub fn offer(&mut self, seq: u64, values: Vec<f64>) -> Offer {
+    /// Offer one readings batch to the ladder. `trace` rides along into
+    /// the queue so the drain can attribute the queue wait to the reading.
+    pub fn offer(&mut self, seq: u64, values: Vec<f64>, trace: Option<PendingTrace>) -> Offer {
         self.last_activity = Instant::now();
         match self.state {
             SessionState::Quarantined => Offer::Quarantined(self.quarantine_frame()),
@@ -218,13 +268,13 @@ impl Session {
             }
             SessionState::Accepting | SessionState::Shedding => {
                 if self.queue.len() < self.ladder.queue_capacity {
-                    self.queue.push_back((seq, values));
+                    self.queue.push_back(QueuedBatch { seq, values, trace });
                     self.counters.accepted += 1;
                     return Offer::Queued;
                 }
                 // Full: drop oldest, admit newest, count the shed.
                 self.queue.pop_front();
-                self.queue.push_back((seq, values));
+                self.queue.push_back(QueuedBatch { seq, values, trace });
                 self.counters.accepted += 1;
                 self.counters.shed += 1;
                 self.shed_streak += 1;
@@ -241,20 +291,26 @@ impl Session {
 
     /// Drain up to `budget` queued batches through the monitor, returning
     /// the response frames to relay (decisions, or one error frame if the
-    /// monitor rejects its input).
+    /// monitor rejects its input), each paired with its stage timings
+    /// when the batch carried a [`PendingTrace`].
     ///
     /// The *caller* is responsible for panic containment: run this inside
     /// `catch_unwind` and call [`quarantine`](Self::quarantine) if it
     /// unwinds. (The session cannot catch its own panic — the unwind
     /// leaves `self` mid-mutation, which is exactly what quarantine is
     /// for.)
-    pub fn drain(&mut self, budget: usize, checkpoint_interval: usize) -> Vec<Frame> {
+    pub fn drain(&mut self, budget: usize, checkpoint_interval: usize) -> Vec<Drained> {
         let mut out = Vec::new();
         for _ in 0..budget {
-            let Some((seq, values)) = self.queue.pop_front() else { break };
-            self.last_activity = Instant::now();
+            let Some(QueuedBatch { seq, values, trace }) = self.queue.pop_front() else { break };
+            let popped = Instant::now();
+            self.last_activity = popped;
             let was_alarmed = self.monitor.is_alarmed();
-            match self.monitor.observe(&values) {
+            let observed = self.monitor.observe(&values);
+            // Stage boundary: everything between `popped` and here is the
+            // prediction; the decision assembly below is `decide`.
+            let predicted_at = trace.as_ref().map(|_| Instant::now());
+            match observed {
                 Ok(decision) => {
                     self.counters.decisions += 1;
                     self.samples_since_checkpoint += 1;
@@ -277,18 +333,34 @@ impl Session {
                     {
                         self.checkpoint_due = true;
                     }
-                    out.push(Frame::Decision {
+                    let frame = Frame::Decision {
                         chip: self.key.chip,
                         seq,
                         flags,
                         predicted_min: decision.predicted_min,
+                    };
+                    let draft = trace.map(|p| {
+                        let predicted_at = predicted_at.unwrap_or(popped);
+                        TraceDraft {
+                            ctx: p.ctx,
+                            decode_ns: p.decode_ns,
+                            shard_ns: popped.saturating_duration_since(p.enqueued).as_nanos()
+                                as u64,
+                            predict_ns: predicted_at.saturating_duration_since(popped).as_nanos()
+                                as u64,
+                            decide_ns: predicted_at.elapsed().as_nanos() as u64,
+                        }
                     });
+                    out.push(Drained { frame, trace: draft });
                 }
                 Err(e) => {
-                    out.push(Frame::Error {
-                        code: crate::frame::error_code::REJECTED,
-                        chip: self.key.chip,
-                        message: e.to_string(),
+                    out.push(Drained {
+                        frame: Frame::Error {
+                            code: crate::frame::error_code::REJECTED,
+                            chip: self.key.chip,
+                            message: e.to_string(),
+                        },
+                        trace: None,
                     });
                 }
             }
@@ -373,15 +445,15 @@ mod tests {
     #[test]
     fn ladder_escalates_shed_then_reject_then_recovers() {
         let mut s = session(2, 3);
-        assert_eq!(s.offer(0, vec![0.9]), Offer::Queued);
-        assert_eq!(s.offer(1, vec![0.9]), Offer::Queued);
+        assert_eq!(s.offer(0, vec![0.9], None), Offer::Queued);
+        assert_eq!(s.offer(1, vec![0.9], None), Offer::Queued);
         // Queue full: three consecutive sheds escalate to Rejecting.
-        assert_eq!(s.offer(2, vec![0.9]), Offer::QueuedAfterShed);
+        assert_eq!(s.offer(2, vec![0.9], None), Offer::QueuedAfterShed);
         assert_eq!(s.state(), SessionState::Shedding);
-        assert_eq!(s.offer(3, vec![0.9]), Offer::QueuedAfterShed);
-        assert_eq!(s.offer(4, vec![0.9]), Offer::QueuedAfterShed);
+        assert_eq!(s.offer(3, vec![0.9], None), Offer::QueuedAfterShed);
+        assert_eq!(s.offer(4, vec![0.9], None), Offer::QueuedAfterShed);
         assert_eq!(s.state(), SessionState::Rejecting);
-        match s.offer(5, vec![0.9]) {
+        match s.offer(5, vec![0.9], None) {
             Offer::Rejected(Frame::Busy { retry_after_ms, .. }) => assert_eq!(retry_after_ms, 25),
             other => panic!("unexpected: {other:?}"),
         }
@@ -391,7 +463,7 @@ mod tests {
         let frames = s.drain(16, usize::MAX);
         let seqs: Vec<u64> = frames
             .iter()
-            .map(|f| match f {
+            .map(|d| match &d.frame {
                 Frame::Decision { seq, flags, .. } => {
                     assert!(flags & decision_flags::DEGRADED != 0 || *seq == 4);
                     *seq
@@ -403,25 +475,27 @@ mod tests {
         // Drained below the watermark: recovered, accepts again.
         assert_eq!(s.state(), SessionState::Accepting);
         assert_eq!(s.counters().recoveries, 1);
-        assert_eq!(s.offer(6, vec![0.9]), Offer::Queued);
+        assert_eq!(s.offer(6, vec![0.9], None), Offer::Queued);
     }
 
     #[test]
     fn first_decision_after_a_shed_is_flagged_degraded() {
         let mut s = session(1, 10);
-        s.offer(0, vec![0.9]);
-        s.offer(1, vec![0.9]); // sheds seq 0
+        s.offer(0, vec![0.9], None);
+        s.offer(1, vec![0.9], None); // sheds seq 0
         let frames = s.drain(16, usize::MAX);
         match frames.as_slice() {
-            [Frame::Decision { seq: 1, flags, .. }] => {
+            [Drained { frame: Frame::Decision { seq: 1, flags, .. }, .. }] => {
                 assert_ne!(flags & decision_flags::DEGRADED, 0);
             }
             other => panic!("unexpected: {other:?}"),
         }
         // Degraded is edge-triggered, not sticky.
-        s.offer(2, vec![0.9]);
+        s.offer(2, vec![0.9], None);
         match s.drain(16, usize::MAX).as_slice() {
-            [Frame::Decision { flags, .. }] => assert_eq!(flags & decision_flags::DEGRADED, 0),
+            [Drained { frame: Frame::Decision { flags, .. }, .. }] => {
+                assert_eq!(flags & decision_flags::DEGRADED, 0)
+            }
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -431,7 +505,7 @@ mod tests {
         let mut s = session(4, 2);
         s.quarantine();
         assert_eq!(s.state(), SessionState::Quarantined);
-        match s.offer(0, vec![0.9]) {
+        match s.offer(0, vec![0.9], None) {
             Offer::Quarantined(Frame::Error { code, .. }) => {
                 assert_eq!(code, crate::frame::error_code::QUARANTINED);
             }
@@ -444,11 +518,33 @@ mod tests {
     fn checkpoint_due_on_sample_interval() {
         let mut s = session(8, 4);
         for seq in 0..3 {
-            s.offer(seq, vec![0.9]);
+            s.offer(seq, vec![0.9], None);
         }
         s.drain(16, 3);
         assert!(s.checkpoint_due());
         s.take_checkpoint();
         assert!(!s.checkpoint_due());
+    }
+
+    #[test]
+    fn traced_batches_come_back_with_stage_timings() {
+        let mut s = session(8, 4);
+        let ctx = TraceContext::derive(1, 1, 7);
+        let pending = PendingTrace { ctx, decode_ns: 1234, enqueued: Instant::now() };
+        assert_eq!(s.offer(7, vec![0.9], Some(pending)), Offer::Queued);
+        s.offer(8, vec![0.9], None);
+        let drained = s.drain(16, usize::MAX);
+        assert_eq!(drained.len(), 2);
+        let draft = drained[0].trace.expect("traced batch has a draft");
+        assert_eq!(draft.ctx, ctx);
+        assert_eq!(draft.decode_ns, 1234);
+        // Queue wait and prediction both happened after `enqueued`, so
+        // the measured stages are self-consistent (non-negative by type;
+        // shard includes the real wait between offer and drain).
+        assert!(drained[1].trace.is_none());
+        match (&drained[0].frame, &drained[1].frame) {
+            (Frame::Decision { seq: 7, .. }, Frame::Decision { seq: 8, .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 }

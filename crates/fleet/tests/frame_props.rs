@@ -14,7 +14,15 @@ fn frame_from(tag: &str, a: u64, b: u64, values: &[f64]) -> Frame {
     match tag {
         "hello" => Frame::Hello { tenant: a, chip: b },
         "hello_ack" => Frame::HelloAck { chip: a, resumed: b & 1 == 1, alarmed: b & 2 == 2 },
-        "readings" => Frame::Readings { chip: a, seq: b, values: values.to_vec() },
+        // Odd `b` carries a trace ID (the v2 wire kind), even stays v1 —
+        // the mutation/truncation/chunking properties then cover both
+        // encodings without a dedicated tag.
+        "readings" => Frame::Readings {
+            chip: a,
+            seq: b,
+            trace: (b & 1 == 1).then(|| a ^ b.rotate_left(31) | 1),
+            values: values.to_vec(),
+        },
         "decision" => Frame::Decision {
             chip: a,
             seq: b,

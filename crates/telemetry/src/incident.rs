@@ -30,9 +30,13 @@
 //!   "gated_sensors": [],
 //!   "sampling": [{"name": "cg.iter", "seen": 9000, "kept": 5120, "stride": 4}],
 //!   "ring": [{"seq": 0, "name": "...", "at_ns": 1, "fields": {...}}, ...],
-//!   "metrics": { "schema": "voltsense-metrics-v1", ... }
+//!   "metrics": { "schema": "voltsense-metrics-v1", ... },
+//!   "traces": { "schema": "voltsense-trace-v1", ... }
 //! }
 //! ```
+//!
+//! `traces` is the registered trace buffer ([`crate::trace::current`]) at
+//! the moment of the incident, or `null` when none is installed.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -177,6 +181,14 @@ fn render(incident: &Incident, recorder: &FlightRecorder, seq: u64, unix_ms: u64
     // document; embed it verbatim as a nested object.
     out.push_str("\n  ],\n  \"metrics\": ");
     out.push_str(recorder.snapshot(incident.kind).to_json().trim_end());
+    // Likewise the trace buffer (`voltsense-trace-v1`), when one is
+    // registered: the slowest traces at the moment of the incident are
+    // exactly the request-level evidence a burn-rate page needs.
+    out.push_str(",\n  \"traces\": ");
+    match crate::trace::current() {
+        Some(traces) => out.push_str(traces.to_json().trim_end()),
+        None => out.push_str("null"),
+    }
     out.push_str("\n}\n");
     out
 }

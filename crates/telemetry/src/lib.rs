@@ -33,6 +33,8 @@ pub mod json;
 pub mod prom;
 mod recorder;
 pub mod serve;
+pub mod slo;
+pub mod trace;
 
 pub use export::Snapshot;
 pub use flight::{FlightRecorder, RingEvent, SamplerStat};

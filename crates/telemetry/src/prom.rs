@@ -4,6 +4,8 @@
 //!
 //! * counters → `# TYPE <name>_total counter`, one sample per counter;
 //! * gauges → `# TYPE <name> gauge`;
+//! * every metric family is preceded by a `# HELP` line naming the raw
+//!   signal it was derived from (backslash/newline escaped per the spec);
 //! * histograms → Prometheus *summaries*: `<name>{quantile="0.5|0.95|0.99"}`
 //!   rendered straight from the log-scale histogram's quantile estimates,
 //!   plus exact `<name>_sum`, `<name>_count`, and `<name>_min`/`<name>_max`
@@ -32,17 +34,27 @@ pub fn encode(snapshot: &Snapshot) -> String {
     out.push_str("\"\n");
 
     for (name, value) in &snapshot.counters {
+        let help = escape_help(name);
         let name = format!("{}_total", sanitize_name(name));
-        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        out.push_str(&format!(
+            "# HELP {name} voltsense counter \"{help}\".\n# TYPE {name} counter\n{name} {value}\n"
+        ));
     }
     for (name, value) in &snapshot.gauges {
+        let help = escape_help(name);
         let name = sanitize_name(name);
-        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt_value(*value)));
+        out.push_str(&format!(
+            "# HELP {name} voltsense gauge \"{help}\".\n# TYPE {name} gauge\n{name} {}\n",
+            fmt_value(*value)
+        ));
     }
     for h in &snapshot.histograms {
         let name = sanitize_name(&h.name);
         let unit = escape_label_value(&h.unit);
-        out.push_str(&format!("# TYPE {name} summary\n"));
+        let help = escape_help(&h.name);
+        out.push_str(&format!(
+            "# HELP {name} voltsense histogram \"{help}\" rendered as a summary.\n# TYPE {name} summary\n"
+        ));
         for (q, v) in [(0.5, h.p50), (0.95, h.p95), (0.99, h.p99)] {
             out.push_str(&format!(
                 "{name}{{quantile=\"{q}\",unit=\"{unit}\"}} {}\n",
@@ -51,8 +63,14 @@ pub fn encode(snapshot: &Snapshot) -> String {
         }
         out.push_str(&format!("{name}_sum {}\n", fmt_value(h.mean * h.count as f64)));
         out.push_str(&format!("{name}_count {}\n", h.count));
-        out.push_str(&format!("# TYPE {name}_min gauge\n{name}_min {}\n", fmt_value(h.min)));
-        out.push_str(&format!("# TYPE {name}_max gauge\n{name}_max {}\n", fmt_value(h.max)));
+        out.push_str(&format!(
+            "# HELP {name}_min exact minimum of \"{help}\".\n# TYPE {name}_min gauge\n{name}_min {}\n",
+            fmt_value(h.min)
+        ));
+        out.push_str(&format!(
+            "# HELP {name}_max exact maximum of \"{help}\".\n# TYPE {name}_max gauge\n{name}_max {}\n",
+            fmt_value(h.max)
+        ));
     }
     out
 }
@@ -71,6 +89,22 @@ pub fn sanitize_name(name: &str) -> String {
     }
     if out.is_empty() {
         out.push('_');
+    }
+    out
+}
+
+/// Escape `# HELP` text per the exposition format: backslash and newline
+/// must be escaped (quotes pass through unescaped in help text, but ours
+/// sit inside quotes we add, so escape them too for readability).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '"' => out.push('\''),
+            c => out.push(c),
+        }
     }
     out
 }

@@ -1,12 +1,19 @@
 //! Zero-dependency live scrape endpoint.
 //!
-//! [`serve`] binds a `std::net::TcpListener` and answers three routes from
+//! [`serve`] binds a `std::net::TcpListener` and answers five routes from
 //! a caller-supplied snapshot source, one short-lived connection at a time
 //! (scrapers are the only intended clients):
 //!
 //! * `GET /metrics` — Prometheus text exposition ([`crate::prom::encode`]);
 //! * `GET /snapshot` — the `voltsense-metrics-v1` JSON snapshot;
-//! * `GET /healthz` — `ok` (liveness probe).
+//! * `GET /trace` — the `voltsense-trace-v1` tail-sampled trace buffer
+//!   ([`crate::trace::current`]; an empty document when none is installed);
+//! * `GET /slo` — the `voltsense-slo-v1` per-tenant burn-rate view
+//!   ([`crate::slo::current`]; an empty document when none is installed);
+//! * `GET /healthz` — readiness. With no [`install_health`] source this is
+//!   the legacy unconditional `200 ok`; with one installed it answers
+//!   `200`/`503` with a JSON body (quarantined/degraded session counts,
+//!   last-checkpoint age) so orchestrators can actually gate on it.
 //!
 //! **Security posture**: the server speaks unauthenticated plaintext HTTP
 //! and must not face untrusted networks. A bare port (`VOLTSENSE_TELEMETRY_ADDR=9184`)
@@ -25,7 +32,7 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -34,6 +41,38 @@ use crate::prom;
 
 /// Produces the snapshot a scrape observes. Called once per request.
 pub type SnapshotSource = Arc<dyn Fn() -> Snapshot + Send + Sync>;
+
+/// Readiness answer produced by an [`install_health`] source.
+pub struct Health {
+    /// `true` → `200 OK`, `false` → `503 Service Unavailable`.
+    pub healthy: bool,
+    /// JSON body served either way (session counts, checkpoint age, …).
+    pub body: String,
+}
+
+/// Produces the `/healthz` answer. Called once per request.
+pub type HealthSource = Arc<dyn Fn() -> Health + Send + Sync>;
+
+/// Process-global readiness source, replaceable like
+/// [`crate::flight::install`] so each fleet server (and each test) can
+/// wire its own. With none installed `/healthz` stays the legacy
+/// unconditional `200 ok` liveness probe.
+static HEALTH: Mutex<Option<HealthSource>> = Mutex::new(None);
+
+/// Register `source` as the process `/healthz` answerer (replacing any
+/// previous one) and return the one installed before.
+pub fn install_health(source: HealthSource) -> Option<HealthSource> {
+    HEALTH.lock().unwrap_or_else(|e| e.into_inner()).replace(source)
+}
+
+/// Remove the registered readiness source, restoring the legacy probe.
+pub fn clear_health() -> Option<HealthSource> {
+    HEALTH.lock().unwrap_or_else(|e| e.into_inner()).take()
+}
+
+fn health_source() -> Option<HealthSource> {
+    HEALTH.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
 
 /// Handle to a running endpoint; the server stops when this is dropped.
 pub struct Server {
@@ -202,11 +241,39 @@ fn handle(mut stream: TcpStream, source: &SnapshotSource) -> std::io::Result<()>
                         prom::encode(&source()),
                     ),
                     "/snapshot" => ("200 OK", "application/json", source().to_json()),
-                    "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+                    "/trace" => (
+                        "200 OK",
+                        "application/json",
+                        crate::trace::current()
+                            .map(|t| t.to_json())
+                            .unwrap_or_else(crate::trace::empty_json),
+                    ),
+                    "/slo" => (
+                        "200 OK",
+                        "application/json",
+                        crate::slo::current()
+                            .map(|s| s.to_json())
+                            .unwrap_or_else(crate::slo::empty_json),
+                    ),
+                    "/healthz" => match health_source() {
+                        None => ("200 OK", "text/plain", "ok\n".to_string()),
+                        Some(health) => {
+                            let answer = health();
+                            (
+                                if answer.healthy {
+                                    "200 OK"
+                                } else {
+                                    "503 Service Unavailable"
+                                },
+                                "application/json",
+                                answer.body,
+                            )
+                        }
+                    },
                     _ => (
                         "404 Not Found",
                         "text/plain",
-                        "routes: /metrics /snapshot /healthz\n".to_string(),
+                        "routes: /metrics /snapshot /trace /slo /healthz\n".to_string(),
                     ),
                 }
             }

@@ -1,0 +1,614 @@
+//! Deterministic per-reading tracing with a tail-sampling buffer.
+//!
+//! Every reading that flows through the fleet gets a 64-bit trace ID
+//! derived *purely* from its identity (`tenant`, `chip`, `seq`) by a
+//! splitmix64-style mixer — no clocks, no entropy. Chaos replays of the
+//! same seeded schedule therefore produce byte-identical trace IDs, and a
+//! duplicated frame maps onto the *same* ID as its original, which is what
+//! lets the buffer deduplicate chaos-injected duplicates instead of
+//! double-counting them (DESIGN.md §7.7).
+//!
+//! A completed trace is a [`TraceRecord`]: the ID triple plus a
+//! [`StageNs`] breakdown of the five pipeline stages
+//! `decode → shard → predict → decide → respond`. Records land in a
+//! fixed-capacity [`TraceBuffer`] that tail-samples per tenant:
+//!
+//! * the **slowest-N** records by total duration are always kept (these
+//!   are the traces you actually want when a p99 blows up), and
+//! * a deterministic **1-in-k** sample (`seq % k == 0`) is kept in a
+//!   bounded ring as an unbiased baseline. Keying the sample on the
+//!   sequence number — not on arrival order — keeps membership identical
+//!   under chaos reordering and across `VOLTSENSE_THREADS` settings.
+//!
+//! The buffer renders as a `voltsense-trace-v1` JSON document on the
+//! `GET /trace` route ([`crate::serve`]) and is embedded into incident
+//! snapshots ([`crate::incident`]). A process-global replaceable registry
+//! ([`install`] / [`current`]) connects the fleet server's buffer to both,
+//! mirroring [`crate::flight`].
+//!
+//! Tracing is on by default and costs a handful of `Instant::now` calls
+//! plus one short mutex hold per reading; `VOLTSENSE_TRACE=0` (or
+//! [`set_enabled`]) turns every timing site into a no-op.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::export::push_json_string;
+
+/// The five pipeline stages of one reading, in wire order.
+pub const STAGES: [&str; 5] = ["decode", "shard", "predict", "decide", "respond"];
+
+/// Schema identifier of the `GET /trace` document.
+pub const SCHEMA: &str = "voltsense-trace-v1";
+
+/// splitmix64 finalizer: the standard 64-bit avalanche mixer.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derive the trace ID for one reading. Pure function of the identity
+/// triple — two deliveries of the same reading (chaos duplicates, replays
+/// of a seeded schedule) always get the same ID. Never returns 0 so that
+/// 0 can serve as an "untraced" sentinel on the wire.
+#[inline]
+pub fn trace_id(tenant: u64, chip: u64, seq: u64) -> u64 {
+    let id = mix64(
+        mix64(tenant ^ 0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(mix64(chip ^ 0x85eb_ca6b_c2b2_ae35))
+            .wrapping_add(mix64(seq ^ 0xc2b2_ae3d_27d4_eb4f)),
+    );
+    if id == 0 {
+        0x9e37_79b9_7f4a_7c15
+    } else {
+        id
+    }
+}
+
+/// Derive the span ID for `stage` (an index into [`STAGES`]) of `trace`.
+/// Deterministic like [`trace_id`]; exported so external consumers can
+/// reconstruct span identities without a lookup table.
+#[inline]
+pub fn span_id(trace: u64, stage: usize) -> u64 {
+    let id = mix64(trace ^ mix64(stage as u64 + 1));
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Identity of one reading plus its trace ID: everything needed to stamp
+/// stage spans. Constructed by the fleet client (which puts the ID on the
+/// wire) and by the server (which re-derives it for legacy frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The 64-bit trace ID, as produced by [`trace_id`].
+    pub trace_id: u64,
+    /// Tenant that owns the reading.
+    pub tenant: u64,
+    /// Chip the reading came from.
+    pub chip: u64,
+    /// Per-chip sequence number.
+    pub seq: u64,
+}
+
+impl TraceContext {
+    /// Build the context for one reading, deriving the ID.
+    pub fn derive(tenant: u64, chip: u64, seq: u64) -> Self {
+        TraceContext {
+            trace_id: trace_id(tenant, chip, seq),
+            tenant,
+            chip,
+            seq,
+        }
+    }
+}
+
+/// Nanosecond durations of the five pipeline stages of one reading.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageNs {
+    /// Wire bytes → decoded frame.
+    pub decode: u64,
+    /// Queue wait between enqueue on the shard and the drain pass.
+    pub shard: u64,
+    /// Monitor observe (model prediction) time.
+    pub predict: u64,
+    /// Post-prediction decision assembly (ladder + frame build).
+    pub decide: u64,
+    /// Response frame write to the connection.
+    pub respond: u64,
+}
+
+impl StageNs {
+    /// Total end-to-end duration: the sum of all five stages.
+    pub fn total(&self) -> u64 {
+        self.decode
+            .saturating_add(self.shard)
+            .saturating_add(self.predict)
+            .saturating_add(self.decide)
+            .saturating_add(self.respond)
+    }
+
+    /// The stage durations in [`STAGES`] order.
+    pub fn as_array(&self) -> [u64; 5] {
+        [self.decode, self.shard, self.predict, self.decide, self.respond]
+    }
+}
+
+/// One completed trace: identity plus stage breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Identity of the reading (tenant/chip/seq + trace ID).
+    pub ctx: TraceContext,
+    /// Per-stage durations.
+    pub stages: StageNs,
+}
+
+impl TraceRecord {
+    /// Total end-to-end duration of this trace.
+    pub fn total_ns(&self) -> u64 {
+        self.stages.total()
+    }
+}
+
+/// Tail-sampling policy knobs for a [`TraceBuffer`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// How many slowest records to keep per tenant.
+    pub slowest_per_tenant: usize,
+    /// Keep every reading whose `seq % sample_every == 0` in the sampled
+    /// ring (deterministic 1-in-k sample).
+    pub sample_every: u64,
+    /// Capacity of the per-tenant sampled ring.
+    pub sampled_capacity: usize,
+    /// How many recently-seen trace IDs to remember per tenant for
+    /// duplicate suppression under chaos replay.
+    pub dedup_window: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            slowest_per_tenant: 8,
+            sample_every: 64,
+            sampled_capacity: 16,
+            dedup_window: 256,
+        }
+    }
+}
+
+/// Per-tenant tail-sampling state.
+struct TenantTraces {
+    /// Slowest records, sorted ascending by total duration; at most
+    /// `slowest_per_tenant` entries.
+    slowest: Vec<TraceRecord>,
+    /// Deterministic 1-in-k sample ring (newest at the back).
+    sampled: VecDeque<TraceRecord>,
+    /// Recently admitted trace IDs, oldest at the front.
+    recent: VecDeque<u64>,
+    /// Completed traces admitted (deduplicated count).
+    recorded: u64,
+    /// Deliveries suppressed as duplicates of a recently seen ID.
+    deduped: u64,
+}
+
+impl TenantTraces {
+    fn new() -> Self {
+        TenantTraces {
+            slowest: Vec::new(),
+            sampled: VecDeque::new(),
+            recent: VecDeque::new(),
+            recorded: 0,
+            deduped: 0,
+        }
+    }
+
+    /// Admit `id` into the dedupe window; `false` if it was already there.
+    fn admit(&mut self, id: u64, window: usize) -> bool {
+        if self.recent.contains(&id) {
+            self.deduped += 1;
+            return false;
+        }
+        self.recent.push_back(id);
+        while self.recent.len() > window.max(1) {
+            self.recent.pop_front();
+        }
+        true
+    }
+}
+
+/// Aggregate admission statistics for one tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantTraceStats {
+    /// Traces admitted (after duplicate suppression).
+    pub recorded: u64,
+    /// Deliveries suppressed as duplicates.
+    pub deduped: u64,
+}
+
+/// Fixed-capacity tail-sampling trace buffer (see module docs).
+pub struct TraceBuffer {
+    cfg: TraceConfig,
+    tenants: Mutex<BTreeMap<u64, TenantTraces>>,
+}
+
+impl TraceBuffer {
+    /// An empty buffer with the given policy.
+    pub fn new(cfg: TraceConfig) -> Self {
+        TraceBuffer {
+            cfg,
+            tenants: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The policy this buffer was built with.
+    pub fn config(&self) -> TraceConfig {
+        self.cfg
+    }
+
+    /// Admit a trace ID *without* a completed record (used for readings
+    /// that never produce a decision, e.g. `Busy` rejections, so SLO
+    /// events can still be deduplicated against chaos replays). Returns
+    /// `false` if the ID was delivered before within the dedupe window.
+    pub fn admit(&self, tenant: u64, id: u64) -> bool {
+        let mut tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        tenants
+            .entry(tenant)
+            .or_insert_with(TenantTraces::new)
+            .admit(id, self.cfg.dedup_window)
+    }
+
+    /// Record a completed trace. Returns `false` (and keeps nothing) when
+    /// the trace ID was already seen within the dedupe window — chaos
+    /// duplicates and reordered re-deliveries collapse onto their first
+    /// delivery. On `true` the record is tail-sampled: it always competes
+    /// for the slowest-N set, and additionally enters the sampled ring
+    /// when `seq % sample_every == 0`.
+    pub fn record(&self, rec: TraceRecord) -> bool {
+        let mut tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        let t = tenants.entry(rec.ctx.tenant).or_insert_with(TenantTraces::new);
+        if !t.admit(rec.ctx.trace_id, self.cfg.dedup_window) {
+            return false;
+        }
+        t.recorded += 1;
+        // Slowest-N: sorted ascending, binary-insert, drop the fastest.
+        let total = rec.total_ns();
+        let at = t.slowest.partition_point(|r| r.total_ns() <= total);
+        if at > 0 || t.slowest.len() < self.cfg.slowest_per_tenant {
+            t.slowest.insert(at, rec);
+            if t.slowest.len() > self.cfg.slowest_per_tenant {
+                t.slowest.remove(0);
+            }
+        }
+        if self.cfg.sample_every > 0 && rec.ctx.seq % self.cfg.sample_every == 0 {
+            t.sampled.push_back(rec);
+            while t.sampled.len() > self.cfg.sampled_capacity.max(1) {
+                t.sampled.pop_front();
+            }
+        }
+        true
+    }
+
+    /// Tenant IDs with any recorded state.
+    pub fn tenants(&self) -> Vec<u64> {
+        let tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        tenants.keys().copied().collect()
+    }
+
+    /// The slowest-N records for `tenant`, slowest first.
+    pub fn slowest(&self, tenant: u64) -> Vec<TraceRecord> {
+        let tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        tenants
+            .get(&tenant)
+            .map(|t| t.slowest.iter().rev().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The deterministic 1-in-k sample for `tenant`, oldest first.
+    pub fn sampled(&self, tenant: u64) -> Vec<TraceRecord> {
+        let tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        tenants
+            .get(&tenant)
+            .map(|t| t.sampled.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Admission statistics for `tenant`.
+    pub fn stats(&self, tenant: u64) -> TenantTraceStats {
+        let tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        tenants
+            .get(&tenant)
+            .map(|t| TenantTraceStats {
+                recorded: t.recorded,
+                deduped: t.deduped,
+            })
+            .unwrap_or_default()
+    }
+
+    /// The *exact* total-duration quantile for `tenant`, when the
+    /// slowest-N set still covers that rank. With `count` admitted records
+    /// the rank-from-the-top of quantile `q` (under the histogram's
+    /// `ceil(q·count)` convention, see [`crate::Histogram::quantile`]) is
+    /// `count − ceil(q·count) + 1`; if that many records are retained the
+    /// answer is exact, otherwise `None` — the caller cannot cross-check.
+    pub fn exact_quantile(&self, tenant: u64, q: f64) -> Option<u64> {
+        let tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        let t = tenants.get(&tenant)?;
+        let count = t.recorded;
+        if count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let from_top = (count - target + 1) as usize;
+        if from_top > t.slowest.len() {
+            return None;
+        }
+        Some(t.slowest[t.slowest.len() - from_top].total_ns())
+    }
+
+    /// Render the whole buffer as a `voltsense-trace-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"");
+        out.push_str(SCHEMA);
+        out.push_str("\",\n  \"stages\": [");
+        for (i, s) in STAGES.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_json_string(&mut out, s);
+        }
+        out.push_str("],\n  \"config\": {");
+        out.push_str(&format!(
+            "\"slowest_per_tenant\": {}, \"sample_every\": {}, \"sampled_capacity\": {}, \"dedup_window\": {}",
+            self.cfg.slowest_per_tenant, self.cfg.sample_every, self.cfg.sampled_capacity, self.cfg.dedup_window
+        ));
+        out.push_str("},\n  \"tenants\": [");
+        for (i, (tenant, t)) in tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"tenant\": ");
+            out.push_str(&tenant.to_string());
+            out.push_str(&format!(
+                ", \"recorded\": {}, \"deduped\": {},\n     \"slowest\": [",
+                t.recorded, t.deduped
+            ));
+            for (j, rec) in t.slowest.iter().rev().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n       ");
+                push_record(&mut out, rec);
+            }
+            out.push_str("],\n     \"sampled\": [");
+            for (j, rec) in t.sampled.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n       ");
+                push_record(&mut out, rec);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// One trace record as a JSON object. Trace/span IDs render as fixed-width
+/// hex strings: 64-bit integers do not survive JSON number parsing intact.
+fn push_record(out: &mut String, rec: &TraceRecord) {
+    out.push_str(&format!(
+        "{{\"trace_id\": \"{:016x}\", \"tenant\": {}, \"chip\": {}, \"seq\": {}, \"total_ns\": {}, \"stages\": {{",
+        rec.ctx.trace_id, rec.ctx.tenant, rec.ctx.chip, rec.ctx.seq, rec.total_ns()
+    ));
+    let durations = rec.stages.as_array();
+    for (i, (stage, ns)) in STAGES.iter().zip(durations).enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "\"{stage}\": {{\"span_id\": \"{:016x}\", \"ns\": {ns}}}",
+            span_id(rec.ctx.trace_id, i)
+        ));
+    }
+    out.push_str("}}");
+}
+
+/// The `voltsense-trace-v1` document of an empty buffer; what `/trace`
+/// serves before any buffer is [`install`]ed.
+pub fn empty_json() -> String {
+    TraceBuffer::new(TraceConfig::default()).to_json()
+}
+
+/// Process-global trace buffer registry, read by the `/trace` route and by
+/// incident snapshots. Replaceable like [`crate::flight::install`] so each
+/// fleet server (and each test) can wire its own buffer.
+static TRACES: Mutex<Option<Arc<TraceBuffer>>> = Mutex::new(None);
+
+/// Register `buffer` as the process trace buffer (replacing any previous
+/// one) and return the one installed before.
+pub fn install(buffer: Arc<TraceBuffer>) -> Option<Arc<TraceBuffer>> {
+    TRACES
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .replace(buffer)
+}
+
+/// The registered trace buffer, if any.
+pub fn current() -> Option<Arc<TraceBuffer>> {
+    TRACES.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Tri-state cache for the `VOLTSENSE_TRACE` knob: 0 = unread, 1 = off,
+/// 2 = on. Reading an env var per reading would be a syscall on the hot
+/// path; one relaxed atomic load is free.
+static TRACE_ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Is per-reading tracing enabled? Defaults to on; `VOLTSENSE_TRACE=0`
+/// (or any falsy value) disables every timing site. Cached after the
+/// first call; [`set_enabled`] overrides the cache in-process.
+#[inline]
+pub fn enabled() -> bool {
+    match TRACE_ENABLED.load(Ordering::Relaxed) {
+        0 => {
+            let on = !crate::env::value("VOLTSENSE_TRACE").is_some_and(|v| crate::env::is_falsy(&v));
+            TRACE_ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+        1 => false,
+        _ => true,
+    }
+}
+
+/// Override the tracing switch in-process (used by the overhead probe in
+/// `fleet_soak` to measure traced vs untraced throughput in one run).
+pub fn set_enabled(on: bool) {
+    TRACE_ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tenant: u64, chip: u64, seq: u64, total: u64) -> TraceRecord {
+        TraceRecord {
+            ctx: TraceContext::derive(tenant, chip, seq),
+            stages: StageNs {
+                decode: total / 5,
+                shard: total / 5,
+                predict: total / 5,
+                decide: total / 5,
+                respond: total - 4 * (total / 5),
+            },
+        }
+    }
+
+    #[test]
+    fn ids_are_deterministic_and_nonzero() {
+        for tenant in 0..8u64 {
+            for chip in 0..8u64 {
+                for seq in 0..8u64 {
+                    let a = trace_id(tenant, chip, seq);
+                    let b = trace_id(tenant, chip, seq);
+                    assert_eq!(a, b);
+                    assert_ne!(a, 0);
+                    for stage in 0..STAGES.len() {
+                        assert_ne!(span_id(a, stage), 0);
+                    }
+                }
+            }
+        }
+        // Distinct identities map to distinct IDs in a small neighbourhood.
+        let mut seen = std::collections::HashSet::new();
+        for tenant in 0..8u64 {
+            for chip in 0..8u64 {
+                for seq in 0..8u64 {
+                    assert!(seen.insert(trace_id(tenant, chip, seq)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slowest_n_keeps_the_tail() {
+        let buf = TraceBuffer::new(TraceConfig {
+            slowest_per_tenant: 3,
+            sample_every: 0,
+            sampled_capacity: 4,
+            dedup_window: 64,
+        });
+        for seq in 0..10u64 {
+            assert!(buf.record(rec(1, 0, seq, 100 * (seq + 1))));
+        }
+        let slowest: Vec<u64> = buf.slowest(1).iter().map(TraceRecord::total_ns).collect();
+        assert_eq!(slowest, vec![1000, 900, 800]);
+        assert_eq!(buf.stats(1).recorded, 10);
+    }
+
+    #[test]
+    fn sampling_is_keyed_on_seq() {
+        let buf = TraceBuffer::new(TraceConfig {
+            slowest_per_tenant: 2,
+            sample_every: 4,
+            sampled_capacity: 100,
+            dedup_window: 64,
+        });
+        for seq in 0..20u64 {
+            buf.record(rec(7, 1, seq, 50));
+        }
+        let sampled: Vec<u64> = buf.sampled(7).iter().map(|r| r.ctx.seq).collect();
+        assert_eq!(sampled, vec![0, 4, 8, 12, 16]);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let buf = TraceBuffer::new(TraceConfig::default());
+        assert!(buf.record(rec(3, 0, 5, 100)));
+        assert!(!buf.record(rec(3, 0, 5, 100)));
+        assert!(!buf.admit(3, trace_id(3, 0, 5)));
+        assert!(buf.admit(3, trace_id(3, 0, 6)));
+        let stats = buf.stats(3);
+        assert_eq!(stats.recorded, 1);
+        assert_eq!(stats.deduped, 2);
+    }
+
+    #[test]
+    fn dedup_window_expires() {
+        let buf = TraceBuffer::new(TraceConfig {
+            dedup_window: 2,
+            ..TraceConfig::default()
+        });
+        assert!(buf.record(rec(1, 0, 1, 10)));
+        assert!(buf.record(rec(1, 0, 2, 10)));
+        assert!(buf.record(rec(1, 0, 3, 10))); // evicts seq 1 from the window
+        assert!(buf.record(rec(1, 0, 1, 10))); // admitted again
+    }
+
+    #[test]
+    fn exact_quantile_from_tail() {
+        let buf = TraceBuffer::new(TraceConfig {
+            slowest_per_tenant: 4,
+            ..TraceConfig::default()
+        });
+        for seq in 0..100u64 {
+            buf.record(rec(1, 0, seq, 10 * (seq + 1)));
+        }
+        // p99 rank under ceil(q·count): target 99 → 2nd from top → 990.
+        assert_eq!(buf.exact_quantile(1, 0.99), Some(990));
+        assert_eq!(buf.exact_quantile(1, 1.0), Some(1000));
+        // p50 rank is far outside the 4 retained records.
+        assert_eq!(buf.exact_quantile(1, 0.5), None);
+    }
+
+    #[test]
+    fn json_document_parses_and_has_all_stages() {
+        let buf = TraceBuffer::new(TraceConfig::default());
+        buf.record(rec(2, 9, 64, 12345));
+        let doc = crate::json::parse(&buf.to_json()).expect("valid json");
+        assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some(SCHEMA));
+        let tenants = doc.get("tenants").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(tenants.len(), 1);
+        let slowest = tenants[0].get("slowest").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(slowest.len(), 1);
+        let stages = slowest[0].get("stages").unwrap();
+        for stage in STAGES {
+            assert!(stages.get(stage).is_some(), "missing stage {stage}");
+        }
+        // The sampled ring holds seq 64 too (64 % 64 == 0).
+        let sampled = tenants[0].get("sampled").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(sampled.len(), 1);
+        // Empty-registry document is also valid.
+        let empty = crate::json::parse(&empty_json()).expect("valid empty json");
+        assert_eq!(
+            empty.get("tenants").and_then(|v| v.as_array()).map(|a| a.len()),
+            Some(0)
+        );
+    }
+}

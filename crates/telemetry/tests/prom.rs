@@ -134,6 +134,59 @@ fn quantiles_render_the_exact_histogram_percentiles() {
 }
 
 #[test]
+fn every_family_gets_a_help_line_naming_the_raw_signal() {
+    let rec = MemoryRecorder::new();
+    rec.counter_add("fleet.frames_total", 2);
+    rec.gauge_set("fleet.sessions", 3.0);
+    rec.histogram_record("fleet.reading_total_ns", 120.0, "ns");
+    let snap = rec.snapshot("help");
+    let text = encode(&snap);
+
+    // Every # TYPE line is immediately preceded by a # HELP line for the
+    // same (sanitized) family name — the conformance shape scrapers and
+    // promtool both expect.
+    let lines: Vec<&str> = text.lines().collect();
+    let mut type_lines = 0;
+    for (i, line) in lines.iter().enumerate() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            type_lines += 1;
+            let name = rest.split_whitespace().next().unwrap();
+            assert!(i > 0, "TYPE can never be the first line");
+            assert!(
+                lines[i - 1].starts_with(&format!("# HELP {name} ")),
+                "family {name} must lead with HELP, got {:?}",
+                lines[i - 1]
+            );
+        }
+    }
+    // counter + gauge + summary + its _min and _max gauges.
+    assert_eq!(type_lines, 5);
+    // The help text names the raw dotted signal, not the sanitized name.
+    assert!(text.contains("# HELP fleet_frames_total_total voltsense counter \"fleet.frames_total\"."));
+    assert!(text.contains("# HELP fleet_sessions voltsense gauge \"fleet.sessions\"."));
+    assert!(text
+        .contains("# HELP fleet_reading_total_ns voltsense histogram \"fleet.reading_total_ns\" rendered as a summary."));
+    assert!(text.contains("# HELP fleet_reading_total_ns_min exact minimum of \"fleet.reading_total_ns\"."));
+}
+
+#[test]
+fn help_text_escapes_backslash_newline_and_quotes() {
+    let mut snap = empty_snapshot("escapes");
+    snap.counters.push(("evil\\name\nwith \"quotes\"".to_string(), 1));
+    let text = encode(&snap);
+    // One logical HELP line: the newline is escaped, not emitted.
+    let help = text
+        .lines()
+        .find(|l| l.starts_with("# HELP"))
+        .expect("help line present");
+    assert!(help.contains("evil\\\\name\\nwith 'quotes'"), "{help}");
+    // And the document still parses line-by-line.
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        parse_sample(line);
+    }
+}
+
+#[test]
 fn nonfinite_values_use_the_exposition_spellings() {
     let mut snap = empty_snapshot("nonfinite");
     snap.gauges.push(("g_nan".to_string(), f64::NAN));

@@ -99,6 +99,42 @@ fn endpoint_serves_metrics_snapshot_and_healthz() {
 }
 
 #[test]
+fn trace_and_slo_routes_serve_empty_documents_when_uninstalled() {
+    // No TraceBuffer / SloTracker is installed in this test binary, so
+    // both routes must answer valid, schema-tagged empty documents
+    // rather than 404 — a scraper can always rely on the shape.
+    let source: SnapshotSource = Arc::new(|| FlightRecorder::new(1).snapshot("routes"));
+    let server = serve("127.0.0.1:0", source).expect("bind");
+    let addr = server.addr();
+
+    let (status, headers, body) = get(addr, "/trace");
+    assert!(status.contains("200"), "{status}");
+    assert!(headers.contains("application/json"), "{headers}");
+    let doc = json::parse(&body).expect("trace document parses");
+    assert_eq!(doc.get("schema").and_then(Value::as_str), Some("voltsense-trace-v1"));
+    assert_eq!(
+        doc.get("tenants").and_then(Value::as_array).map(<[Value]>::len),
+        Some(0),
+        "no buffer installed → no tenants"
+    );
+
+    let (status, headers, body) = get(addr, "/slo");
+    assert!(status.contains("200"), "{status}");
+    assert!(headers.contains("application/json"), "{headers}");
+    let doc = json::parse(&body).expect("slo document parses");
+    assert_eq!(doc.get("schema").and_then(Value::as_str), Some("voltsense-slo-v1"));
+    assert_eq!(
+        doc.get("tenants").and_then(Value::as_array).map(<[Value]>::len),
+        Some(0),
+    );
+
+    // The 404 route list advertises the observability routes.
+    let (status, _, body) = get(addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+    assert!(body.contains("/trace") && body.contains("/slo"), "{body}");
+}
+
+#[test]
 fn stalled_head_gets_408_instead_of_wedging_the_loop() {
     // Per-connection deadline is read per request, so a short budget here
     // only affects connections opened while this test runs.
