@@ -64,6 +64,28 @@ cargo run --release --offline -p voltsense-bench --bin validate_incident -- \
     --expect-ring-event monitor.alarm --expect-attribution \
     "$obs_dir"/incidents/*.json
 
+echo "==> profiling smoke (span-stack sampler + /profile scrape + attribution)"
+# Run the seeded table2 bench with the 99 Hz sampler on and scrape
+# /profile while it lingers. The validator checks both formats
+# (voltsense-profile-v1 JSON and collapsed flamegraph text) and pins
+# sampler attribution end to end: within the solver subtree
+# (methodology.*) the hottest sampled callee must be a group-lasso
+# solver span (gl.bcd.* / gl.fista.*).
+prof_dir="$(mktemp -d)"
+VOLTSENSE_PROFILE=1 \
+VOLTSENSE_TELEMETRY_ADDR=127.0.0.1:0 \
+VOLTSENSE_TELEMETRY_ADDR_FILE="$prof_dir/addr" \
+VOLTSENSE_TELEMETRY_LINGER=120 \
+VOLTSENSE_TELEMETRY_STOP="$prof_dir/stop" \
+    cargo run --release --offline -p voltsense-bench --bin table2_error_rates &
+prof_pid=$!
+trap 'kill "$prof_pid" 2>/dev/null || true' EXIT
+cargo run --release --offline -p voltsense-bench --bin validate_profile \
+    "@$prof_dir/addr" --under methodology. --expect-top gl.bcd --expect-top gl.fista
+touch "$prof_dir/stop"   # release the linger
+wait "$prof_pid"
+trap - EXIT
+
 echo "==> fleet chaos smoke (seeded soak + restart resume + /trace + /slo scrape)"
 # Chaos schedule is replayable from the seed; the binary hard-asserts
 # zero server panics, latch-through-reconnect, an all-sessions resume

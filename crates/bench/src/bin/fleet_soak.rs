@@ -40,11 +40,18 @@ use voltsense::fleet::frame::{Frame, FrameDecoder, DEFAULT_MAX_FRAME};
 use voltsense::fleet::server::{FleetConfig, FleetServer, SessionFactory};
 use voltsense::fleet::session::{ChipMonitor, SessionKey};
 use voltsense::linalg::Matrix;
+use voltsense::telemetry::profile;
 use voltsense::telemetry::slo::SloConfig;
 use voltsense::telemetry::trace::{self, TraceConfig};
 use voltsense::telemetry::{self, env};
 use voltsense::workload::GaussianRng;
 use voltsense_bench::{results_dir, rule};
+
+// Route this binary's heap traffic through the counting allocator so the
+// profiling overhead probe below measures the full production cost of
+// the instrumentation: the disabled path (one relaxed load per alloc)
+// is what every un-profiled run pays, and the probe gates it.
+voltsense::telemetry::install_counting_allocator!();
 
 const CONTROL_TENANT: u64 = 1000;
 const LAGGY_TENANT: u64 = 9999;
@@ -239,6 +246,9 @@ struct SoakReport {
     traced_rps: f64,
     untraced_rps: f64,
     trace_overhead_pct: f64,
+    profiled_rps: f64,
+    unprofiled_rps: f64,
+    profile_overhead_pct: f64,
 }
 
 /// Pipelined round-trip throughput against a quiet server: keep a small
@@ -670,6 +680,50 @@ fn main() {
         ));
     }
 
+    // --- profiling overhead probe --------------------------------------
+    // Same protocol as the tracing probe: alternate profiled (99 Hz
+    // span-stack sampler + allocation accounting live) and unprofiled
+    // rounds against a quiet dedicated server, keep the best of each
+    // mode. The unprofiled rounds still run with the counting allocator
+    // installed and span hooks compiled in — that disabled path (one
+    // relaxed load per alloc / per span) is the always-on cost the ≤1%
+    // budget covers.
+    let probe_cfg =
+        FleetConfig { tick: Duration::from_millis(1), ..FleetConfig::default() };
+    let probe_refits = Arc::new(AtomicU64::new(0));
+    let mut probe_server = FleetServer::start(probe_cfg, counting_factory(probe_refits))
+        .expect("bind profile probe server");
+    let mut profiled_rps = 0.0f64;
+    let mut unprofiled_rps = 0.0f64;
+    for round in 0..3u64 {
+        {
+            let _sampler = profile::start(profile::DEFAULT_HZ);
+            let _counting = profile::enable_counting();
+            profiled_rps =
+                profiled_rps.max(probe_rps(probe_server.addr(), 2200 + round, PROBE_READINGS));
+        }
+        unprofiled_rps =
+            unprofiled_rps.max(probe_rps(probe_server.addr(), 2300 + round, PROBE_READINGS));
+    }
+    probe_server.stop();
+    // The probe's sampler replaced any env-started profiler in the global
+    // registry; restore it so a lingering /profile scrape sees the soak's
+    // own profile, not the probe's.
+    if let Some(p) = obs.profiler() {
+        profile::install(p.clone());
+    }
+    let profile_overhead_pct = (unprofiled_rps - profiled_rps) / unprofiled_rps * 100.0;
+    println!(
+        "profiling overhead: profiled {profiled_rps:.0} rps vs unprofiled {unprofiled_rps:.0} \
+         rps ({profile_overhead_pct:+.2}%, target <= 1%)"
+    );
+    if profiled_rps < unprofiled_rps * 0.70 || unprofiled_rps < profiled_rps * 0.70 {
+        failures.push(format!(
+            "profiling overhead outside ±30%: profiled {profiled_rps:.0} rps \
+             vs unprofiled {unprofiled_rps:.0} rps"
+        ));
+    }
+
     let report = SoakReport {
         seed,
         tenants,
@@ -704,6 +758,9 @@ fn main() {
         traced_rps,
         untraced_rps,
         trace_overhead_pct,
+        profiled_rps,
+        unprofiled_rps,
+        profile_overhead_pct,
     };
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
@@ -772,6 +829,11 @@ fn to_json(benches: &[MicroBench], r: &SoakReport) -> String {
         r.traced_rps,
         r.untraced_rps,
         r.trace_overhead_pct
+    ));
+    s.push_str(&format!(
+        "    \"profiling\": {{\"profiled_rps\": {:.1}, \"unprofiled_rps\": {:.1}, \
+         \"overhead_pct\": {:.2}}},\n",
+        r.profiled_rps, r.unprofiled_rps, r.profile_overhead_pct
     ));
     s.push_str(&format!(
         "    \"slo\": {{\"pages\": {}, \"latency_burn_5m\": {:.3}, \

@@ -244,6 +244,9 @@ pub struct EmergencyMonitor {
     asserted: bool,
     stats: MonitorStats,
     fault: Option<FaultState>,
+    /// Prediction scratch (length `K`) so the naive per-reading path stays
+    /// allocation-free at steady state (pinned by the fleet `alloc_gate`).
+    scratch: Vec<f64>,
 }
 
 impl EmergencyMonitor {
@@ -274,6 +277,7 @@ impl EmergencyMonitor {
                 what: format!("release margin must be finite and >= 0, got {release_margin}"),
             });
         }
+        let scratch = vec![0.0; model.num_targets()];
         Ok(EmergencyMonitor {
             model,
             threshold,
@@ -283,6 +287,7 @@ impl EmergencyMonitor {
             asserted: false,
             stats: MonitorStats::default(),
             fault: None,
+            scratch,
         })
     }
 
@@ -427,8 +432,11 @@ impl EmergencyMonitor {
         if let Some(bad) = sensor_readings.iter().position(|v| !v.is_finite()) {
             return Err(CoreError::NonFiniteReading { sensor: bad });
         }
-        let predicted = self.model.predict_from_sensors(sensor_readings)?;
-        let (worst_block, predicted_min) = worst_prediction(&predicted);
+        // Grows only if the model was hot-swapped to a larger `K`; a no-op
+        // (and allocation-free) at steady state.
+        self.scratch.resize(self.model.num_targets(), 0.0);
+        self.model.predict_into(sensor_readings, &mut self.scratch)?;
+        let (worst_block, predicted_min) = worst_prediction(&self.scratch);
         Ok(self.resolve_alarm(predicted_min, worst_block, None))
     }
 

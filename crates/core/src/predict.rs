@@ -172,6 +172,21 @@ impl VoltageMapModel {
     ///   a single corrupted input would otherwise poison *every* predicted
     ///   node.
     pub fn predict_from_sensors(&self, readings: &[f64]) -> Result<Vec<f64>, CoreError> {
+        let mut out = vec![0.0; self.num_targets()];
+        self.predict_into(readings, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`VoltageMapModel::predict_from_sensors`] into a caller-provided
+    /// output slice of length `K`, allocating nothing on success — the
+    /// steady-state form of the per-reading runtime path, pinned by the
+    /// fleet `alloc_gate` test. (The error paths still format messages.)
+    ///
+    /// # Errors
+    ///
+    /// As [`VoltageMapModel::predict_from_sensors`], plus
+    /// [`CoreError::ShapeMismatch`] when `out.len() != K`.
+    pub fn predict_into(&self, readings: &[f64], out: &mut [f64]) -> Result<(), CoreError> {
         if readings.len() != self.num_sensors() {
             return Err(CoreError::ShapeMismatch {
                 what: format!(
@@ -181,10 +196,20 @@ impl VoltageMapModel {
                 ),
             });
         }
+        if out.len() != self.num_targets() {
+            return Err(CoreError::ShapeMismatch {
+                what: format!(
+                    "expected output of length {}, got {}",
+                    self.num_targets(),
+                    out.len()
+                ),
+            });
+        }
         if let Some(bad) = readings.iter().position(|v| !v.is_finite()) {
             return Err(CoreError::NonFiniteReading { sensor: bad });
         }
-        Ok(self.fit.predict(readings)?)
+        self.fit.predict_into(readings, out)?;
+        Ok(())
     }
 
     /// Predicts from a full candidate-voltage vector (`M` values), picking

@@ -253,7 +253,10 @@ impl Frame {
     }
 
     /// Decode one body (kind byte + payload, checksum already verified).
-    fn decode_body(body: &[u8]) -> Result<Self, FrameError> {
+    /// `spare` is a pool of recycled readings buffers; the `Readings` arm
+    /// pops one instead of allocating when the pool is non-empty, which is
+    /// what keeps the steady-state decode path allocation-free.
+    fn decode_body(body: &[u8], spare: &mut Vec<Vec<f64>>) -> Result<Self, FrameError> {
         let mut r = Reader { bytes: body, pos: 0 };
         let kind = r.u8()?;
         let frame = match kind {
@@ -272,8 +275,10 @@ impl Frame {
                     return Err(FrameError::TooManyReadings(count));
                 }
                 // `count` is now bounded, and the body itself already
-                // passed the frame-size cap: safe to allocate.
-                let mut values = Vec::with_capacity(count);
+                // passed the frame-size cap: safe to (re)allocate.
+                let mut values = spare.pop().unwrap_or_default();
+                values.clear();
+                values.reserve(count);
                 for _ in 0..count {
                     values.push(r.f64()?);
                 }
@@ -364,12 +369,29 @@ pub struct FrameDecoder {
     buf: Vec<u8>,
     max_frame: usize,
     poisoned: Option<FrameError>,
+    /// Recycled readings buffers ([`recycle`](Self::recycle)); decoding a
+    /// `Readings` frame reuses one instead of allocating.
+    spare: Vec<Vec<f64>>,
 }
+
+/// Most recycled readings buffers a decoder retains; beyond this,
+/// [`FrameDecoder::recycle`] just drops the buffer.
+const MAX_SPARE_BUFFERS: usize = 32;
 
 impl FrameDecoder {
     /// Decoder accepting bodies up to `max_frame` bytes.
     pub fn new(max_frame: usize) -> Self {
-        Self { buf: Vec::new(), max_frame, poisoned: None }
+        Self { buf: Vec::new(), max_frame, poisoned: None, spare: Vec::new() }
+    }
+
+    /// Return a spent readings buffer for reuse by a later `Readings`
+    /// decode. Callers that recycle every drained buffer make the
+    /// steady-state decode path allocation-free (pinned by the fleet
+    /// `alloc_gate` test); not recycling is always safe, just slower.
+    pub fn recycle(&mut self, values: Vec<f64>) {
+        if self.spare.len() < MAX_SPARE_BUFFERS {
+            self.spare.push(values);
+        }
     }
 
     /// Append raw stream bytes. Ignored once the decoder is poisoned —
@@ -411,7 +433,7 @@ impl FrameDecoder {
         if actual != expected {
             return Err(self.poison(FrameError::Checksum { expected, actual }));
         }
-        match Frame::decode_body(body) {
+        match Frame::decode_body(body, &mut self.spare) {
             Ok(frame) => {
                 self.buf.drain(..HEADER_LEN + len);
                 Ok(Some(frame))

@@ -191,7 +191,15 @@ pub struct Session {
     /// Set when the alarm edge or sample count makes a checkpoint due;
     /// cleared by the server once it persists.
     checkpoint_due: bool,
+    /// Readings buffers spent by [`drain_into`](Self::drain_into), held
+    /// for the caller to reclaim ([`take_spare`](Self::take_spare)) and
+    /// hand back to its [`crate::frame::FrameDecoder`] — the loop that
+    /// keeps the per-reading path allocation-free.
+    spare: Vec<Vec<f64>>,
 }
+
+/// Most spent readings buffers a session retains for recycling.
+const MAX_SPARE_BUFFERS: usize = 8;
 
 impl Session {
     /// New session around `monitor`.
@@ -208,7 +216,15 @@ impl Session {
             last_activity: Instant::now(),
             samples_since_checkpoint: 0,
             checkpoint_due: false,
+            spare: Vec::new(),
         }
+    }
+
+    /// Reclaim one readings buffer spent by a previous drain, if any —
+    /// recycle it into the connection's `FrameDecoder` to close the
+    /// allocation-free loop.
+    pub fn take_spare(&mut self) -> Option<Vec<f64>> {
+        self.spare.pop()
     }
 
     /// Session identity.
@@ -301,6 +317,18 @@ impl Session {
     /// for.)
     pub fn drain(&mut self, budget: usize, checkpoint_interval: usize) -> Vec<Drained> {
         let mut out = Vec::new();
+        self.drain_into(&mut out, budget, checkpoint_interval);
+        out
+    }
+
+    /// [`drain`](Self::drain) into a caller-reused output vector (which is
+    /// *appended to*, not cleared). With a warm `out` and the spent
+    /// readings buffers recycled back through
+    /// [`take_spare`](Self::take_spare) → `FrameDecoder::recycle`, the
+    /// per-reading decode→predict→decide path allocates nothing at steady
+    /// state (pinned by the fleet `alloc_gate` test; error frames and
+    /// checkpoint serialization still allocate, as befits cold paths).
+    pub fn drain_into(&mut self, out: &mut Vec<Drained>, budget: usize, checkpoint_interval: usize) {
         for _ in 0..budget {
             let Some(QueuedBatch { seq, values, trace }) = self.queue.pop_front() else { break };
             let popped = Instant::now();
@@ -364,6 +392,9 @@ impl Session {
                     });
                 }
             }
+            if self.spare.len() < MAX_SPARE_BUFFERS {
+                self.spare.push(values);
+            }
         }
         // Draining below the low watermark de-escalates the ladder.
         if self.state != SessionState::Quarantined
@@ -377,7 +408,6 @@ impl Session {
                 self.shed_streak = 0;
             }
         }
-        out
     }
 
     /// Mark the session terminally quarantined (the monitor panicked).

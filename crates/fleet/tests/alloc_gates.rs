@@ -1,0 +1,69 @@
+//! Zero-allocation gate for the fleet's per-reading hot path.
+//!
+//! One steady-state reading travels decode → queue → predict → decide:
+//! the decoder parses a wire frame into a recycled values buffer, the
+//! session queues it, `drain_into` runs the monitor and appends the
+//! decision to a caller-reused output vector, and the spent buffer is
+//! recycled back into the decoder. With every buffer warm, that loop
+//! must allocate nothing — this gate pins it end to end, so a
+//! regression anywhere along the path (a fresh `Vec` per frame, a
+//! `String` per decision, a non-`_into` predict) fails with a
+//! per-iteration allocation count.
+
+voltsense_telemetry::install_counting_allocator!();
+
+use voltsense_core::{EmergencyMonitor, VoltageMapModel};
+use voltsense_fleet::frame::{Frame, FrameDecoder, DEFAULT_MAX_FRAME};
+use voltsense_fleet::session::{ChipMonitor, Drained, LadderConfig, Offer, Session, SessionKey};
+use voltsense_linalg::Matrix;
+use voltsense_parallel::with_threads;
+use voltsense_telemetry::alloc_gate;
+
+/// Identity monitor: one sensor, one critical node, prediction == the
+/// reading (same construction as the server-behavior tests).
+fn identity_monitor() -> EmergencyMonitor {
+    let model = VoltageMapModel::from_parts(
+        vec![0],
+        1,
+        Matrix::from_rows(&[&[1.0]]).unwrap(),
+        vec![0.0],
+        0.001,
+    )
+    .unwrap();
+    EmergencyMonitor::new(model, 0.8, 2, 10.0).unwrap()
+}
+
+#[test]
+fn per_reading_path_is_alloc_free() {
+    with_threads(1, || {
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let mut session = Session::new(
+            SessionKey { tenant: 1, chip: 7 },
+            Box::new(identity_monitor()) as Box<dyn ChipMonitor>,
+            LadderConfig::default(),
+        );
+        // A healthy reading (1.0 V > 0.8 V threshold): no alarm edge, so
+        // the loop stays on the pure decision path — incident capture and
+        // checkpoint serialization are cold paths and allocate freely.
+        let wire = Frame::Readings { chip: 7, seq: 0, trace: None, values: vec![1.0] }.encode();
+        let mut out: Vec<Drained> = Vec::with_capacity(4);
+        alloc_gate!("fleet.per_reading", 64, || {
+            decoder.push(&wire);
+            let frame = decoder.next().expect("decode").expect("one frame");
+            let Frame::Readings { seq, values, .. } = frame else {
+                panic!("expected readings frame");
+            };
+            match session.offer(seq, values, None) {
+                Offer::Queued => {}
+                other => panic!("expected Queued, got {other:?}"),
+            }
+            session.drain_into(&mut out, 8, usize::MAX);
+            assert!(matches!(out[0].frame, Frame::Decision { .. }));
+            out.clear();
+            // Close the recycling loop: the session's spent values buffer
+            // becomes the decoder's next decode target.
+            let spare = session.take_spare().expect("drained buffer recycled");
+            decoder.recycle(spare);
+        });
+    });
+}

@@ -132,6 +132,9 @@ pub fn solve_penalized(
             what: format!("penalty mu must be finite and >= 0, got {mu}"),
         });
     }
+    // Solver-scope span (not per-sweep — the sweep is the zero-alloc hot
+    // loop): attributes the whole solve to `gl.bcd` in sampled profiles.
+    let _span = telemetry::span("gl.bcd.solve_penalized");
     let m_count = problem.num_candidates();
     let k_count = problem.num_targets();
     let s = problem.s();
@@ -192,85 +195,8 @@ pub fn solve_penalized(
         }
 
         let groups: &[usize] = if full { &all_groups } else { &active_list };
-        let mut worst_kkt = 0.0_f64;
-        for &m in groups {
-            let smm = s[(m, m)];
-            // c_m = Q[:,m] − (βS)[:,m] + β_m S_mm  (partial residual corr.)
-            // Fused pass: c_m, ‖c_m‖² and ‖β_m‖² in one flat loop.
-            let mut c_norm_sq = 0.0;
-            let mut bnorm_sq = 0.0;
-            {
-                let qrow = qt.row(m);
-                let grow = gradt.row(m);
-                let brow = bt.row(m);
-                for k in 0..k_count {
-                    let bv = brow[k];
-                    let c = qrow[k] - grow[k] + bv * smm;
-                    delta[k] = c;
-                    c_norm_sq += c * c;
-                    bnorm_sq += bv * bv;
-                }
-            }
-            let c_norm = c_norm_sq.sqrt();
-            // Closed-form group soft threshold.
-            let scale = if smm <= 0.0 || c_norm <= mu {
-                0.0
-            } else {
-                (1.0 - mu / c_norm) / smm
-            };
-            // KKT violation of this group *before* its update: the update
-            // drives it to zero, so measuring pre-update violations over a
-            // full sweep bounds the solution quality. The residual column
-            // (βS − Q)[:,m] is recovered from the cached c_m:
-            // r_k = β_k·S_mm − c_k.
-            let bnorm_old = bnorm_sq.sqrt();
-            let violation = if bnorm_old > 0.0 {
-                let brow = bt.row(m);
-                let mut acc = 0.0;
-                for k in 0..k_count {
-                    let bv = brow[k];
-                    let r = bv * smm - delta[k] + mu * bv / bnorm_old;
-                    acc += r * r;
-                }
-                acc.sqrt()
-            } else {
-                (c_norm - mu).max(0.0)
-            };
-            worst_kkt = worst_kkt.max(violation);
-
-            // δ = new β_m − old β_m; apply and update the gradient lazily
-            // (δ = 0 — the common case for sparse solutions — is free).
-            let mut changed = false;
-            {
-                let brow = bt.row_mut(m);
-                for k in 0..k_count {
-                    let new = scale * delta[k];
-                    let d = new - brow[k];
-                    if d != 0.0 {
-                        changed = true;
-                    }
-                    delta[k] = d;
-                    brow[k] = new;
-                }
-            }
-            if changed {
-                // gradt[j, :] += S[m, j] · δ. On pruned sweeps only the
-                // active rows are maintained — the only rows those sweeps
-                // read — cutting the update from O(M·K) to O(|A|·K).
-                let srow = s.row(m);
-                let rows: &[usize] = if full { &all_groups } else { &active_list };
-                for &j in rows {
-                    let smj = srow[j];
-                    if smj == 0.0 {
-                        continue;
-                    }
-                    let grow = gradt.row_mut(j);
-                    for (g, &d) in grow.iter_mut().zip(&delta) {
-                        *g += smj * d;
-                    }
-                }
-            }
-        }
+        let rows: &[usize] = if full { &all_groups } else { &active_list };
+        let worst_kkt = sweep_groups(&mut bt, &mut gradt, &qt, s, &mut delta, groups, rows, mu);
         if full {
             // The active set for the upcoming pruned sweeps is the
             // post-sweep support.
@@ -338,6 +264,112 @@ pub fn solve_penalized(
         converged,
         kkt_residual,
     })
+}
+
+/// One BCD pass over `groups`: the closed-form group soft-threshold update
+/// of each visited group plus the lazy incremental gradient maintenance on
+/// `rows`, fused with the pre-update KKT violation measurement. Returns the
+/// worst per-group violation seen (absolute, not `μ_max`-scaled).
+///
+/// This is the solver's steady-state inner loop: it allocates nothing (all
+/// state lives in the caller-owned `bt`/`gradt`/`delta` buffers), which the
+/// `alloc_gate` test pins. Extracted from [`solve_penalized`] verbatim so
+/// full and pruned sweeps share one bit-identical code path.
+///
+/// Not part of the public API — exposed for the allocation gates and
+/// kernel-level benches.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_groups(
+    bt: &mut Matrix,
+    gradt: &mut Matrix,
+    qt: &Matrix,
+    s: &Matrix,
+    delta: &mut [f64],
+    groups: &[usize],
+    rows: &[usize],
+    mu: f64,
+) -> f64 {
+    let k_count = bt.cols();
+    let mut worst_kkt = 0.0_f64;
+    for &m in groups {
+        let smm = s[(m, m)];
+        // c_m = Q[:,m] − (βS)[:,m] + β_m S_mm  (partial residual corr.)
+        // Fused pass: c_m, ‖c_m‖² and ‖β_m‖² in one flat loop.
+        let mut c_norm_sq = 0.0;
+        let mut bnorm_sq = 0.0;
+        {
+            let qrow = qt.row(m);
+            let grow = gradt.row(m);
+            let brow = bt.row(m);
+            for k in 0..k_count {
+                let bv = brow[k];
+                let c = qrow[k] - grow[k] + bv * smm;
+                delta[k] = c;
+                c_norm_sq += c * c;
+                bnorm_sq += bv * bv;
+            }
+        }
+        let c_norm = c_norm_sq.sqrt();
+        // Closed-form group soft threshold.
+        let scale = if smm <= 0.0 || c_norm <= mu {
+            0.0
+        } else {
+            (1.0 - mu / c_norm) / smm
+        };
+        // KKT violation of this group *before* its update: the update
+        // drives it to zero, so measuring pre-update violations over a
+        // full sweep bounds the solution quality. The residual column
+        // (βS − Q)[:,m] is recovered from the cached c_m:
+        // r_k = β_k·S_mm − c_k.
+        let bnorm_old = bnorm_sq.sqrt();
+        let violation = if bnorm_old > 0.0 {
+            let brow = bt.row(m);
+            let mut acc = 0.0;
+            for k in 0..k_count {
+                let bv = brow[k];
+                let r = bv * smm - delta[k] + mu * bv / bnorm_old;
+                acc += r * r;
+            }
+            acc.sqrt()
+        } else {
+            (c_norm - mu).max(0.0)
+        };
+        worst_kkt = worst_kkt.max(violation);
+
+        // δ = new β_m − old β_m; apply and update the gradient lazily
+        // (δ = 0 — the common case for sparse solutions — is free).
+        let mut changed = false;
+        {
+            let brow = bt.row_mut(m);
+            for k in 0..k_count {
+                let new = scale * delta[k];
+                let d = new - brow[k];
+                if d != 0.0 {
+                    changed = true;
+                }
+                delta[k] = d;
+                brow[k] = new;
+            }
+        }
+        if changed {
+            // gradt[j, :] += S[m, j] · δ. On pruned sweeps only the
+            // active rows are maintained — the only rows those sweeps
+            // read — cutting the update from O(M·K) to O(|A|·K).
+            let srow = s.row(m);
+            for &j in rows {
+                let smj = srow[j];
+                if smj == 0.0 {
+                    continue;
+                }
+                let grow = gradt.row_mut(j);
+                for (g, &d) in grow.iter_mut().zip(delta.iter()) {
+                    *g += smj * d;
+                }
+            }
+        }
+    }
+    worst_kkt
 }
 
 /// l2 norm of row `m` of a group-major matrix.

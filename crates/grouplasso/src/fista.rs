@@ -32,6 +32,9 @@ pub fn solve_penalized_fista(
             what: format!("penalty mu must be finite and >= 0, got {mu}"),
         });
     }
+    // Solver-scope span: attributes the whole solve to `gl.fista` in
+    // sampled profiles (matches `gl.bcd.solve_penalized` in bcd.rs).
+    let _span = telemetry::span("gl.fista.solve_penalized");
     let k_count = problem.num_targets();
     let m_count = problem.num_candidates();
     let s = problem.s();

@@ -73,6 +73,8 @@ mod path;
 mod problem;
 
 pub use bcd::{solve_penalized, GlOptions, GlSolution};
+#[doc(hidden)]
+pub use bcd::sweep_groups;
 pub use constrained::{solve_constrained, ConstrainedSolution};
 pub use cv::{cross_validate, CvResult};
 pub use error::GroupLassoError;

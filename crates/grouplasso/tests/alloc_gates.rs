@@ -1,0 +1,57 @@
+//! Zero-allocation gate for the BCD steady-state inner loop.
+//!
+//! [`sweep_groups`] is the solver's hot path: one full pass of
+//! group soft-threshold updates plus incremental gradient maintenance.
+//! All of its state lives in caller-owned buffers, so a warm sweep must
+//! allocate nothing — this gate pins that, catching regressions like a
+//! temporary `Vec` per group or a `Matrix` clone per pass.
+
+voltsense_telemetry::install_counting_allocator!();
+
+use voltsense_grouplasso::{sweep_groups, GlProblem};
+use voltsense_linalg::Matrix;
+use voltsense_parallel::with_threads;
+use voltsense_telemetry::alloc_gate;
+
+/// Same shape as the solver's own toy problem: candidate 0 drives both
+/// targets, candidate 1 is weak, candidate 2 is noise.
+fn toy_problem() -> GlProblem {
+    let z = Matrix::from_rows(&[
+        &[1.0, -1.0, 0.8, -0.8, 1.2, -1.2, 0.9, -0.9],
+        &[0.9, -0.9, 0.7, -0.9, 1.1, -1.0, 0.8, -1.0],
+        &[0.3, 0.1, -0.2, 0.4, -0.1, 0.2, -0.3, -0.4],
+    ])
+    .unwrap();
+    let g = Matrix::from_rows(&[
+        &[1.0, -1.0, 0.8, -0.8, 1.2, -1.2, 0.9, -0.9],
+        &[0.95, -0.95, 0.75, -0.85, 1.15, -1.1, 0.85, -0.95],
+    ])
+    .unwrap();
+    GlProblem::from_data(&z, &g).unwrap()
+}
+
+#[test]
+fn sweep_groups_is_alloc_free() {
+    with_threads(1, || {
+        let p = toy_problem();
+        let m_count = p.num_candidates();
+        let k_count = p.num_targets();
+        // Replicate solve_penalized's working-set setup: group-major
+        // coefficient and gradient buffers, a scratch delta vector, and
+        // the full group list (a full sweep visits and maintains all
+        // rows, so the incremental gradient stays consistent across the
+        // gate's iterations).
+        let qt = p.q().transpose();
+        let mut bt = Matrix::zeros(m_count, k_count);
+        let mut gradt = Matrix::zeros(m_count, k_count);
+        let mut delta = vec![0.0; k_count];
+        let all: Vec<usize> = (0..m_count).collect();
+        let mu = 0.25 * p.mu_max();
+        alloc_gate!("grouplasso.sweep_groups", 32, || {
+            sweep_groups(&mut bt, &mut gradt, &qt, p.s(), &mut delta, &all, &all, mu);
+        });
+        // The sweeps must also have made progress: at this penalty the
+        // dominant group is active.
+        assert!(bt.row(0).iter().any(|&v| v != 0.0), "sweeps left beta empty");
+    });
+}

@@ -34,11 +34,25 @@ impl LinearFit {
     /// Returns [`LinalgError::ShapeMismatch`] if `x.len()` differs from the
     /// number of predictors.
     pub fn predict(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
-        let mut f = self.coefficients.matvec(x)?;
-        for (fi, ci) in f.iter_mut().zip(&self.intercept) {
+        let mut f = vec![0.0; self.coefficients.rows()];
+        self.predict_into(x, &mut f)?;
+        Ok(f)
+    }
+
+    /// [`LinearFit::predict`] into a caller-provided output slice of
+    /// length `K`, allocating nothing — the steady-state form of the
+    /// per-reading runtime prediction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on predictor-count or
+    /// output-length mismatch.
+    pub fn predict_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        self.coefficients.matvec_into(x, out)?;
+        for (fi, ci) in out.iter_mut().zip(&self.intercept) {
             *fi += ci;
         }
-        Ok(f)
+        Ok(())
     }
 
     /// Predicts responses for a batch of samples (columns of `x`).

@@ -337,6 +337,21 @@ impl Matrix {
     /// Returns [`LinalgError::ShapeMismatch`] if
     /// `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul`] into a caller-provided output matrix (shape
+    /// `self.rows x rhs.cols`), allocating nothing. The steady-state form
+    /// for hot loops that multiply fixed shapes repeatedly; pinned
+    /// allocation-free by the `alloc_gate` tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`
+    /// or `out` has the wrong shape.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul",
@@ -344,7 +359,14 @@ impl Matrix {
                 right: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        if out.shape() != (self.rows, rhs.cols) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_into",
+                left: (self.rows, rhs.cols),
+                right: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
         let n = rhs.cols;
         let min_rows = PAR_TASK_FLOPS.div_ceil((self.cols * n).max(1));
         parallel::for_each_row_block(&mut out.data, n, min_rows, |first, block| {
@@ -362,7 +384,7 @@ impl Matrix {
                 }
             }
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Like [`Matrix::matmul`] but with the plain serial i-k-j loop —
@@ -401,8 +423,30 @@ impl Matrix {
     /// Each dot keeps its serial summation order, so the result is
     /// bit-identical at any thread count.
     pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.rows);
+        self.gram_into(&mut out)
+            .expect("gram output allocated with the right shape");
+        out
+    }
+
+    /// [`Matrix::gram`] into a caller-provided `rows x rows` output matrix,
+    /// allocating nothing on the serial path (the parallel path builds its
+    /// per-row hand-off slots; hot loops that must stay allocation-free run
+    /// it under one thread). Pinned by the `alloc_gate` tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `out` is not square with
+    /// side `self.rows()`.
+    pub fn gram_into(&self, out: &mut Matrix) -> Result<(), LinalgError> {
         let n = self.rows;
-        let mut out = Matrix::zeros(n, n);
+        if out.shape() != (n, n) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "gram_into",
+                left: (n, n),
+                right: out.shape(),
+            });
+        }
         let total_flops = n * (n + 1) / 2 * self.cols;
         let parts = parallel::current_threads().min((total_flops / PAR_TASK_FLOPS).max(1));
         if parts <= 1 {
@@ -418,7 +462,7 @@ impl Matrix {
                     out[(j, i)] = s;
                 }
             }
-            return out;
+            return Ok(());
         }
         {
             let mut slots: Vec<Mutex<Option<&mut [f64]>>> = Vec::with_capacity(n);
@@ -447,7 +491,7 @@ impl Matrix {
                 out[(i, j)] = out[(j, i)];
             }
         }
-        out
+        Ok(())
     }
 
     /// Matrix-vector product `self * v`.
@@ -456,6 +500,20 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matvec`] into a caller-provided output slice of length
+    /// `self.rows()`, allocating nothing. The steady-state form of the
+    /// runtime `K×Q` prediction; pinned by the `alloc_gate` tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `v.len() != self.cols()`
+    /// or `out.len() != self.rows()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
         if v.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "matvec",
@@ -463,14 +521,20 @@ impl Matrix {
                 right: (v.len(), 1),
             });
         }
-        let mut out = vec![0.0; self.rows];
+        if out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec_into",
+                left: (self.rows, 1),
+                right: (out.len(), 1),
+            });
+        }
         let min_rows = PAR_TASK_FLOPS.div_ceil(self.cols.max(1));
-        parallel::for_each_row_block(&mut out, 1, min_rows, |first, block| {
+        parallel::for_each_row_block(out, 1, min_rows, |first, block| {
             for (local, o) in block.iter_mut().enumerate() {
                 *o = self.row(first + local).iter().zip(v).map(|(a, b)| a * b).sum();
             }
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Entry-wise map, returning a new matrix.

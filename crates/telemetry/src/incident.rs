@@ -189,6 +189,14 @@ fn render(incident: &Incident, recorder: &FlightRecorder, seq: u64, unix_ms: u64
         Some(traces) => out.push_str(traces.to_json().trim_end()),
         None => out.push_str("null"),
     }
+    // And the continuous profile (`voltsense-profile-v1`) when a sampler
+    // is running: where the cycles and allocations were going when the
+    // incident fired, without re-running anything.
+    out.push_str(",\n  \"profile\": ");
+    match crate::profile::current() {
+        Some(profile) => out.push_str(profile.to_json().trim_end()),
+        None => out.push_str("null"),
+    }
     out.push_str("\n}\n");
     out
 }

@@ -30,6 +30,7 @@ pub mod flight;
 mod histogram;
 pub mod incident;
 pub mod json;
+pub mod profile;
 pub mod prom;
 mod recorder;
 pub mod serve;
@@ -134,9 +135,12 @@ pub fn with_scoped<R>(recorder: Arc<dyn Recorder>, f: impl FnOnce() -> R) -> R {
 }
 
 /// RAII wall-clock span. Created by [`span`]; records the interval (and
-/// feeds the span-duration histogram) when dropped.
+/// feeds the span-duration histogram) when dropped. When the continuous
+/// profiler is running ([`profile`]), the span also publishes its name on
+/// the thread's sampled stack for the duration.
 pub struct Span {
     active: Option<(Arc<dyn Recorder>, SpanId)>,
+    profiled: bool,
 }
 
 impl Drop for Span {
@@ -144,20 +148,28 @@ impl Drop for Span {
         if let Some((recorder, id)) = self.active.take() {
             recorder.span_end(id);
         }
+        if self.profiled {
+            profile::pop_frame();
+        }
     }
 }
 
 /// Open a span named `name`. Free when telemetry is disabled.
 #[inline]
 pub fn span(name: &'static str) -> Span {
+    let profiled = profile::push_frame(name);
     match current_recorder() {
         Some(recorder) => {
             let id = recorder.span_begin(name);
             Span {
                 active: Some((recorder, id)),
+                profiled,
             }
         }
-        None => Span { active: None },
+        None => Span {
+            active: None,
+            profiled,
+        },
     }
 }
 
@@ -304,6 +316,9 @@ pub struct ObservabilityGuard {
     /// capture is finalized on drop.
     server: Option<serve::Server>,
     export: Option<TelemetryGuard>,
+    /// Declared after `server` so the final profile stays scrapeable
+    /// through a linger; the sampler thread stops on guard drop.
+    sampler: Option<profile::SamplerGuard>,
 }
 
 impl ObservabilityGuard {
@@ -320,6 +335,11 @@ impl ObservabilityGuard {
     /// Whether a `VOLTSENSE_TELEMETRY` export capture is also active.
     pub fn exporting(&self) -> bool {
         self.export.is_some()
+    }
+
+    /// The continuous profiler, when `VOLTSENSE_PROFILE` started one.
+    pub fn profiler(&self) -> Option<&Arc<profile::Profiler>> {
+        self.sampler.as_ref().map(profile::SamplerGuard::profiler)
     }
 
     /// Keep the process (and its endpoint) alive for
@@ -357,7 +377,11 @@ impl ObservabilityGuard {
 /// 3. honours `VOLTSENSE_TELEMETRY_ADDR` (`host:port` or bare port, port 0
 ///    for OS-assigned): starts [`serve::serve`] with `GET /metrics`
 ///    (Prometheus) and `GET /snapshot` (JSON) rendered live from the
-///    flight recorder.
+///    flight recorder;
+/// 4. honours `VOLTSENSE_PROFILE` / `VOLTSENSE_PROFILE_HZ`: starts the
+///    continuous span-stack sampler ([`profile::start_from_env`]), whose
+///    folded profile is served at `GET /profile` and embedded in
+///    incident snapshots.
 ///
 /// Unlike diagnostic capture, this needs no environment variable: with
 /// nothing set you still get the bounded-memory recorder and incident
@@ -394,9 +418,11 @@ pub fn init_always_on(suite: &str) -> ObservabilityGuard {
             }
         }
     });
+    let sampler = profile::start_from_env();
     ObservabilityGuard {
         flight,
         export,
         server,
+        sampler,
     }
 }

@@ -33,6 +33,17 @@ pub fn encode(snapshot: &Snapshot) -> String {
     }
     out.push_str("\"\n");
 
+    // Static build-info gauge (standard pattern: value is always 1, the
+    // payload lives in the labels) so dashboards can correlate metric
+    // shifts with deploys.
+    out.push_str(&format!(
+        "# HELP voltsense_build_info Build metadata of the scraped process.\n\
+         # TYPE voltsense_build_info gauge\n\
+         voltsense_build_info{{version=\"{}\",debug=\"{}\"}} 1\n",
+        escape_label_value(env!("CARGO_PKG_VERSION")),
+        cfg!(debug_assertions)
+    ));
+
     for (name, value) in &snapshot.counters {
         let help = escape_help(name);
         let name = format!("{}_total", sanitize_name(name));

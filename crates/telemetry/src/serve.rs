@@ -1,15 +1,21 @@
 //! Zero-dependency live scrape endpoint.
 //!
-//! [`serve`] binds a `std::net::TcpListener` and answers five routes from
+//! [`serve`] binds a `std::net::TcpListener` and answers its routes from
 //! a caller-supplied snapshot source, one short-lived connection at a time
 //! (scrapers are the only intended clients):
 //!
+//! * `GET /` — JSON index of every endpoint below, so a browser hit on
+//!   the bare port is self-documenting;
 //! * `GET /metrics` — Prometheus text exposition ([`crate::prom::encode`]);
 //! * `GET /snapshot` — the `voltsense-metrics-v1` JSON snapshot;
 //! * `GET /trace` — the `voltsense-trace-v1` tail-sampled trace buffer
 //!   ([`crate::trace::current`]; an empty document when none is installed);
 //! * `GET /slo` — the `voltsense-slo-v1` per-tenant burn-rate view
 //!   ([`crate::slo::current`]; an empty document when none is installed);
+//! * `GET /profile` — the `voltsense-profile-v1` continuous-profiling
+//!   document ([`crate::profile::current`]; empty when no sampler runs);
+//!   `GET /profile?format=collapsed` serves flamegraph-compatible
+//!   collapsed-stack text instead;
 //! * `GET /healthz` — readiness. With no [`install_health`] source this is
 //!   the legacy unconditional `200 ok`; with one installed it answers
 //!   `200`/`503` with a JSON body (quarantined/degraded session counts,
@@ -203,6 +209,22 @@ fn read_head(stream: &mut TcpStream, deadline: Instant) -> HeadRead {
     }
 }
 
+/// The `GET /` body: a machine- and human-readable endpoint index.
+fn endpoint_index() -> String {
+    concat!(
+        "{\n  \"service\": \"voltsense-telemetry\",\n  \"endpoints\": [\n",
+        "    {\"path\": \"/metrics\", \"description\": \"Prometheus text exposition\"},\n",
+        "    {\"path\": \"/snapshot\", \"description\": \"voltsense-metrics-v1 JSON snapshot\"},\n",
+        "    {\"path\": \"/trace\", \"description\": \"voltsense-trace-v1 tail-sampled traces\"},\n",
+        "    {\"path\": \"/slo\", \"description\": \"voltsense-slo-v1 per-tenant burn rates\"},\n",
+        "    {\"path\": \"/profile\", \"description\": \"voltsense-profile-v1 continuous profile\"},\n",
+        "    {\"path\": \"/profile?format=collapsed\", \"description\": \"flamegraph collapsed-stack text\"},\n",
+        "    {\"path\": \"/healthz\", \"description\": \"readiness probe\"}\n",
+        "  ]\n}\n"
+    )
+    .to_string()
+}
+
 fn handle(mut stream: TcpStream, source: &SnapshotSource) -> std::io::Result<()> {
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let budget_ms = crate::env::parse::<u64>("VOLTSENSE_TELEMETRY_READ_DEADLINE_MS")
@@ -234,7 +256,14 @@ fn handle(mut stream: TcpStream, source: &SnapshotSource) -> std::io::Result<()>
             if method != "GET" {
                 ("405 Method Not Allowed", "text/plain", "only GET is supported\n".to_string())
             } else {
+                // `/profile?format=collapsed` is the only query we accept;
+                // split it off so exact-path matching stays exact.
+                let (path, query) = match path.split_once('?') {
+                    Some((p, q)) => (p, q),
+                    None => (path, ""),
+                };
                 match path {
+                    "/" => ("200 OK", "application/json", endpoint_index()),
                     "/metrics" => (
                         "200 OK",
                         "text/plain; version=0.0.4; charset=utf-8",
@@ -255,6 +284,23 @@ fn handle(mut stream: TcpStream, source: &SnapshotSource) -> std::io::Result<()>
                             .map(|s| s.to_json())
                             .unwrap_or_else(crate::slo::empty_json),
                     ),
+                    "/profile" if query == "format=collapsed" => (
+                        "200 OK",
+                        "text/plain; charset=utf-8",
+                        crate::profile::current()
+                            .map(|p| p.to_collapsed())
+                            .unwrap_or_default(),
+                    ),
+                    // Bare `/profile` only: an unrecognized format query
+                    // falls through to 404 rather than silently serving
+                    // JSON to a client that asked for something else.
+                    "/profile" if query.is_empty() => (
+                        "200 OK",
+                        "application/json",
+                        crate::profile::current()
+                            .map(|p| p.to_json())
+                            .unwrap_or_else(crate::profile::empty_json),
+                    ),
                     "/healthz" => match health_source() {
                         None => ("200 OK", "text/plain", "ok\n".to_string()),
                         Some(health) => {
@@ -273,7 +319,7 @@ fn handle(mut stream: TcpStream, source: &SnapshotSource) -> std::io::Result<()>
                     _ => (
                         "404 Not Found",
                         "text/plain",
-                        "routes: /metrics /snapshot /trace /slo /healthz\n".to_string(),
+                        "routes: / /metrics /snapshot /trace /slo /profile /healthz\n".to_string(),
                     ),
                 }
             }

@@ -1,0 +1,99 @@
+//! Property tests for the log-bucketed histogram's quantile estimate.
+//!
+//! The histogram stores positive samples in base-2 log buckets with 8
+//! subbuckets per octave, so any value in a bucket is within a factor of
+//! `2^(1/16)` of the bucket's geometric center — a ≤ ~4.43% relative
+//! error bound on every interior quantile. The properties pin that
+//! bracket, the exact extreme ranks, merge consistency, and the
+//! single-sample edge.
+
+use voltsense_telemetry::Histogram;
+use voltsense_testkit::{f64_range, forall, vec_f64};
+
+/// One bucket's maximal relative deviation from its geometric center:
+/// `2^(1/16) - 1`, plus float slop.
+const BUCKET_REL_WIDTH: f64 = 0.0443;
+const SLOP: f64 = 1e-9;
+
+/// The rank the histogram targets: `ceil(q * n)` clamped to `[1, n]`,
+/// 1-indexed into the sorted samples.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len() as f64;
+    let target = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
+}
+
+#[test]
+fn quantile_brackets_exact_sample_quantile() {
+    forall!(cases = 128, (values in vec_f64(50, 1e-3, 1e3),
+                          q in f64_range(0.0, 1.0)) => {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = exact_quantile(&sorted, q);
+        let est = hist.quantile(q);
+        let rel = (est - exact).abs() / exact;
+        assert!(
+            rel <= BUCKET_REL_WIDTH + SLOP,
+            "q={q}: estimate {est} vs exact {exact} (rel err {rel:.5} > bucket width)"
+        );
+    });
+}
+
+#[test]
+fn extreme_quantiles_are_exact() {
+    forall!(cases = 64, (values in vec_f64(20, 1e-3, 1e3)) => {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // min and max ranks are tracked exactly, not bucketed.
+        assert_eq!(hist.quantile(0.0), sorted[0]);
+        assert_eq!(hist.quantile(1.0), sorted[sorted.len() - 1]);
+    });
+}
+
+#[test]
+fn merge_matches_recording_everything_into_one() {
+    forall!(cases = 64, (a in vec_f64(17, 1e-3, 1e3),
+                         b in vec_f64(31, 1e-3, 1e3)) => {
+        let mut left = Histogram::new();
+        for &v in &a {
+            left.record(v);
+        }
+        let mut right = Histogram::new();
+        for &v in &b {
+            right.record(v);
+        }
+        left.merge(&right);
+
+        let mut all = Histogram::new();
+        for &v in a.iter().chain(&b) {
+            all.record(v);
+        }
+        assert_eq!(left.count(), all.count());
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+        // Bucket counts are integers, so the merged quantiles must agree
+        // bit-for-bit with the all-in-one histogram at every rank.
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert_eq!(left.quantile(q), all.quantile(q), "q={q}");
+        }
+    });
+}
+
+#[test]
+fn single_sample_answers_every_quantile() {
+    forall!(cases = 64, (v in f64_range(1e-3, 1e3)) => {
+        let mut hist = Histogram::new();
+        hist.record(v);
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(hist.quantile(q), v, "q={q}");
+        }
+    });
+}

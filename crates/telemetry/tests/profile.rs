@@ -1,0 +1,138 @@
+//! Integration tests for the continuous profiler: span-stack sampling,
+//! collapsed/JSON export, allocation accounting with per-span
+//! attribution, and the `alloc_gate!` facility itself.
+//!
+//! These tests drive `sample_once` directly (deterministic: the sampled
+//! stack is whatever spans this thread holds open at the call), so they
+//! hold regardless of the background sampler thread's timing.
+
+voltsense_telemetry::install_counting_allocator!();
+
+use std::hint::black_box;
+
+use voltsense_telemetry::json::{self, Value};
+use voltsense_telemetry::{alloc_gate, profile, span};
+
+#[test]
+fn sampler_folds_the_live_span_stack() {
+    let guard = profile::start(50.0);
+    let profiler = guard.profiler().clone();
+
+    {
+        let _outer = span("test.outer");
+        let _inner = span("test.inner");
+        profiler.sample_once();
+        profiler.sample_once();
+    }
+
+    let collapsed = profiler.to_collapsed();
+    let nested = collapsed
+        .lines()
+        .find(|l| l.starts_with("test.outer;test.inner "))
+        .unwrap_or_else(|| panic!("no nested stack in:\n{collapsed}"));
+    let count: u64 = nested.rsplit(' ').next().unwrap().parse().expect("count");
+    assert!(count >= 2, "expected >= 2 samples, got {count} in:\n{collapsed}");
+
+    // With the spans dropped, further samples of this thread are idle.
+    let idle_before = profiler
+        .to_collapsed()
+        .lines()
+        .find_map(|l| l.strip_prefix("(idle) ").map(|c| c.parse::<u64>().unwrap()))
+        .unwrap_or(0);
+    profiler.sample_once();
+    let idle_after = profiler
+        .to_collapsed()
+        .lines()
+        .find_map(|l| l.strip_prefix("(idle) ").map(|c| c.parse::<u64>().unwrap()))
+        .unwrap_or(0);
+    assert!(idle_after > idle_before, "idle {idle_before} -> {idle_after}");
+
+    // The JSON document round-trips through the in-tree parser and
+    // reports the same stack.
+    let doc = json::parse(&profiler.to_json()).expect("profile JSON parses");
+    assert_eq!(doc.get("schema").and_then(Value::as_str), Some("voltsense-profile-v1"));
+    assert_eq!(doc.get("hz").and_then(Value::as_f64), Some(50.0));
+    let Some(Value::Array(stacks)) = doc.get("stacks") else {
+        panic!("stacks missing");
+    };
+    assert!(stacks.iter().any(|s| {
+        matches!(s.get("stack"), Some(Value::Array(frames))
+            if frames.iter().filter_map(Value::as_str).eq(["test.outer", "test.inner"]))
+    }));
+}
+
+#[test]
+fn sampler_survives_spans_dropped_out_of_order_and_deep_stacks() {
+    let guard = profile::start(50.0);
+    let profiler = guard.profiler().clone();
+
+    // Deeper than MAX_DEPTH: the overflow is truncated, not UB; the
+    // sampled stack ends in the `(truncated)` pseudo-frame.
+    let spans: Vec<_> = (0..profile::MAX_DEPTH + 4).map(|_| span("test.deep")).collect();
+    profiler.sample_once();
+    drop(spans);
+
+    let collapsed = profiler.to_collapsed();
+    let deep = collapsed
+        .lines()
+        .find(|l| l.contains("test.deep"))
+        .unwrap_or_else(|| panic!("no deep stack in:\n{collapsed}"));
+    assert!(
+        deep.contains("(truncated)"),
+        "overflowed stack should be marked truncated: {deep}"
+    );
+}
+
+#[test]
+fn allocation_accounting_attributes_to_the_innermost_span() {
+    assert!(
+        profile::allocator_installed(),
+        "install_counting_allocator! at the test-crate root must take effect"
+    );
+    let guard = profile::start(50.0);
+    let profiler = guard.profiler().clone();
+
+    let _counting = profile::enable_counting();
+    let (bytes_before, calls_before, _, _) = profile::thread_alloc_totals();
+    {
+        let _span = span("test.alloc_site");
+        black_box(Vec::<u8>::with_capacity(4096));
+    }
+    let (bytes_after, calls_after, dealloc_bytes, dealloc_calls) =
+        profile::thread_alloc_totals();
+    assert!(calls_after > calls_before, "allocation not counted");
+    assert!(bytes_after >= bytes_before + 4096, "allocated bytes not counted");
+    assert!(dealloc_calls > 0 && dealloc_bytes > 0, "drop not counted");
+
+    // The JSON alloc section names the span the allocation happened under.
+    let doc = json::parse(&profiler.to_json()).expect("profile JSON parses");
+    let alloc = doc.get("alloc").expect("alloc section");
+    assert!(
+        matches!(alloc.get("allocator_installed"), Some(Value::Bool(true))),
+        "allocator_installed should be true"
+    );
+    let rendered = profiler.to_json();
+    assert!(
+        rendered.contains("\"test.alloc_site\""),
+        "per-span attribution missing from:\n{rendered}"
+    );
+}
+
+#[test]
+fn alloc_gate_passes_on_an_allocation_free_body() {
+    let mut acc = 0u64;
+    alloc_gate!("test.noop", 32, || {
+        acc = acc.wrapping_mul(31).wrapping_add(7);
+        black_box(acc);
+    });
+}
+
+#[test]
+fn alloc_gate_catches_a_steady_state_allocation() {
+    let result = std::panic::catch_unwind(|| {
+        alloc_gate!("test.leaky", 4, || {
+            black_box(Vec::<u8>::with_capacity(64));
+        });
+    });
+    assert!(result.is_err(), "gate must fail a body that allocates every iteration");
+}

@@ -57,14 +57,44 @@ fn empty_registry_is_a_valid_nonempty_document() {
     assert!(text.starts_with("# voltsense"), "leads with the suite comment");
     assert!(text.contains("nothing_here"));
     assert!(text.ends_with('\n'), "exposition format requires a trailing newline");
-    // Nothing but comments — and every line still parses.
-    assert!(text.lines().all(|l| l.starts_with('#')));
+    // Only the suite comment and the static build-info family — and every
+    // non-comment line still parses as a sample.
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let (name, _, value) = parse_sample(line);
+        assert_eq!(name, "voltsense_build_info", "unexpected sample in empty registry: {line}");
+        assert_eq!(value, 1.0);
+    }
+}
+
+#[test]
+fn build_info_gauge_is_always_exposed() {
+    let text = encode(&empty_snapshot("build"));
+    assert!(text.contains("# TYPE voltsense_build_info gauge"));
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("voltsense_build_info{"))
+        .expect("build_info sample present");
+    let (name, labels, value) = parse_sample(line);
+    assert_eq!(name, "voltsense_build_info");
+    assert_eq!(value, 1.0, "info-style gauges always read 1; the payload is in the labels");
+    let get = |k: &str| labels.iter().find(|(n, _)| n == k).map(|(_, v)| v.as_str());
+    assert_eq!(get("version"), Some(env!("CARGO_PKG_VERSION")));
+    assert_eq!(get("debug"), Some(if cfg!(debug_assertions) { "true" } else { "false" }));
 }
 
 #[test]
 fn suite_comment_cannot_break_out_of_its_line() {
     let text = encode(&empty_snapshot("evil\nfake_metric 1\rmore"));
-    assert_eq!(text.lines().count(), 1, "newlines in the suite name must be stripped");
+    // The whole hostile suite name collapses into the single leading
+    // comment line; only the static build-info family follows it.
+    let mut lines = text.lines();
+    let first = lines.next().unwrap();
+    assert!(first.starts_with("# voltsense"));
+    assert!(first.contains("evilfake_metric 1more"), "newlines in the suite name must be stripped");
+    assert!(
+        lines.all(|l| l.contains("voltsense_build_info")),
+        "nothing but build_info may follow the suite comment"
+    );
 }
 
 #[test]
@@ -120,6 +150,7 @@ fn quantiles_render_the_exact_histogram_percentiles() {
                 ("solver_time_count", None) => { assert_eq!(value, h.count as f64); seen += 1; }
                 ("solver_time_min", None) => { assert_eq!(value, h.min); seen += 1; }
                 ("solver_time_max", None) => { assert_eq!(value, h.max); seen += 1; }
+                ("voltsense_build_info", None) => assert_eq!(value, 1.0),
                 other => panic!("unexpected sample {other:?}"),
             }
             // Every quantile sample carries the unit label.
@@ -159,8 +190,9 @@ fn every_family_gets_a_help_line_naming_the_raw_signal() {
             );
         }
     }
-    // counter + gauge + summary + its _min and _max gauges.
-    assert_eq!(type_lines, 5);
+    // build_info + counter + gauge + summary + its _min and _max gauges.
+    assert_eq!(type_lines, 6);
+    assert!(text.contains("# HELP voltsense_build_info Build metadata of the scraped process."));
     // The help text names the raw dotted signal, not the sanitized name.
     assert!(text.contains("# HELP fleet_frames_total_total voltsense counter \"fleet.frames_total\"."));
     assert!(text.contains("# HELP fleet_sessions voltsense gauge \"fleet.sessions\"."));
@@ -174,10 +206,11 @@ fn help_text_escapes_backslash_newline_and_quotes() {
     let mut snap = empty_snapshot("escapes");
     snap.counters.push(("evil\\name\nwith \"quotes\"".to_string(), 1));
     let text = encode(&snap);
-    // One logical HELP line: the newline is escaped, not emitted.
+    // One logical HELP line: the newline is escaped, not emitted. (Skip
+    // the static build_info family's HELP line.)
     let help = text
         .lines()
-        .find(|l| l.starts_with("# HELP"))
+        .find(|l| l.starts_with("# HELP") && !l.contains("voltsense_build_info"))
         .expect("help line present");
     assert!(help.contains("evil\\\\name\\nwith 'quotes'"), "{help}");
     // And the document still parses line-by-line.

@@ -185,3 +185,68 @@ fn bare_port_binds_loopback() {
     let server = serve("0", source).expect("bind");
     assert!(server.addr().ip().is_loopback());
 }
+
+#[test]
+fn root_serves_endpoint_index() {
+    let source: SnapshotSource = Arc::new(|| FlightRecorder::new(1).snapshot("index"));
+    let server = serve("127.0.0.1:0", source).expect("bind");
+    let addr = server.addr();
+
+    let (status, headers, body) = get(addr, "/");
+    assert!(status.contains("200"), "{status}");
+    assert!(headers.contains("application/json"), "{headers}");
+    let doc = json::parse(&body).expect("index parses");
+    assert_eq!(doc.get("service").and_then(Value::as_str), Some("voltsense-telemetry"));
+    let Some(Value::Array(endpoints)) = doc.get("endpoints") else {
+        panic!("\"endpoints\" is not an array: {body}");
+    };
+    // Every served route documents itself in the index.
+    for path in ["/metrics", "/snapshot", "/trace", "/slo", "/profile", "/healthz"] {
+        assert!(
+            endpoints
+                .iter()
+                .any(|e| e.get("path").and_then(Value::as_str) == Some(path)),
+            "index lacks {path}: {body}"
+        );
+    }
+
+    // An unknown route still 404s (the index is "/" exactly, not a prefix).
+    let (status, _, _) = get(addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+}
+
+#[test]
+fn profile_route_serves_json_and_collapsed() {
+    use voltsense_telemetry::profile::{self, Profiler};
+
+    let source: SnapshotSource = Arc::new(|| FlightRecorder::new(1).snapshot("profile"));
+    let server = serve("127.0.0.1:0", source).expect("bind");
+    let addr = server.addr();
+
+    // With no profiler installed the route still answers with a valid
+    // empty document (never 404 — scrapers can rely on the schema).
+    let (status, headers, body) = get(addr, "/profile");
+    assert!(status.contains("200"), "{status}");
+    assert!(headers.contains("application/json"), "{headers}");
+    let doc = json::parse(&body).expect("empty profile parses");
+    assert_eq!(doc.get("schema").and_then(Value::as_str), Some("voltsense-profile-v1"));
+    assert_eq!(doc.get("samples").and_then(Value::as_f64), Some(0.0));
+
+    // Install a profiler; the route serves it live.
+    profile::install(Arc::new(Profiler::new(42.0)));
+    let (status, _, body) = get(addr, "/profile");
+    assert!(status.contains("200"), "{status}");
+    let doc = json::parse(&body).expect("profile parses");
+    assert_eq!(doc.get("hz").and_then(Value::as_f64), Some(42.0));
+
+    // Collapsed format: empty profile, empty text — but still 200 and
+    // text/plain.
+    let (status, headers, body) = get(addr, "/profile?format=collapsed");
+    assert!(status.contains("200"), "{status}");
+    assert!(headers.contains("text/plain"), "{headers}");
+    assert!(body.is_empty(), "no samples yet, got: {body}");
+
+    // Unknown query on a known path is a 404, not a silent default.
+    let (status, _, _) = get(addr, "/profile?format=svg");
+    assert!(status.contains("404"), "{status}");
+}
